@@ -1,0 +1,50 @@
+"""Ablation — compression codec choice for Compresschain (DESIGN.md §5).
+
+Compares the paper-calibrated ratio-model codec against the real zlib codec on
+Arbitrum-statistics batches: the model reproduces the paper's ratios by
+construction, and zlib lands in the same regime (a few x), which is what makes
+Compresschain's throughput sit between Vanilla's and Hashchain's.
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.compressor.model import ModelCompressor
+from repro.compressor.zlib_compressor import ZlibCompressor
+from repro.config import PAPER_COMPRESSION_RATIO
+from repro.sim.rng import DeterministicRNG
+from repro.workload.generator import ArbitrumLikeGenerator
+
+
+def compress_batches(codec, batch_size, batches=20):
+    generator = ArbitrumLikeGenerator(DeterministicRNG(11))
+    ratios = []
+    compressed_sizes = []
+    for _ in range(batches):
+        batch = generator.batch("client", batch_size)
+        original = sum(e.size_bytes for e in batch)
+        result = codec.compress(batch, original)
+        ratios.append(result.ratio)
+        compressed_sizes.append(result.compressed_size)
+    return (sum(ratios) / len(ratios), sum(compressed_sizes) / len(compressed_sizes))
+
+
+@pytest.mark.parametrize("batch_size", [100, 500])
+def test_codec_ratios(benchmark, batch_size):
+    model_ratio, model_size = compress_batches(ModelCompressor(), batch_size)
+    zlib_ratio, zlib_size = run_once(benchmark, compress_batches, ZlibCompressor(),
+                                     batch_size)
+    paper = PAPER_COMPRESSION_RATIO[batch_size]
+    print(f"\nAblation — codecs at collector {batch_size}: "
+          f"model ratio {model_ratio:.2f} ({model_size:.0f} B), "
+          f"zlib ratio {zlib_ratio:.2f} ({zlib_size:.0f} B), paper {paper}")
+    # The model codec is pinned to the paper's ratio.
+    assert model_ratio == pytest.approx(paper, rel=0.02)
+    # The real codec compresses by at least ~2x — same regime the paper reports
+    # (2.5-3.5x), so conclusions drawn with either codec agree qualitatively.
+    assert zlib_ratio > 2.0
+    # Paper: compressed batch ~16 kB at c=100 and ~66 kB at c=500.
+    if batch_size == 100:
+        assert 10_000 < model_size < 20_000
+    else:
+        assert 50_000 < model_size < 80_000

@@ -1,0 +1,23 @@
+"""Appendix D.1 — analytical throughput of the three algorithms.
+
+Regenerates the five analytical values the paper reports (Tv, Tc[100],
+Tc[500], Th[100], Th[500]) and checks them against the paper's numbers and
+ratios (Th[500]/Tv ≈ 155, Th[500]/Tc[500] ≈ 44).
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.experiments import tables
+
+
+def test_appendix_d1_analytical_throughput(benchmark):
+    values = run_once(benchmark, tables.appendix_d1)
+    print("\nAppendix D.1 — analytical throughput (el/s)")
+    for key, value in values.items():
+        paper = tables.PAPER_ANALYTICAL_VALUES[key]
+        print(f"  {key:22s} measured {value:10.0f}   paper {paper:10.0f}")
+        assert value == pytest.approx(paper, rel=0.02)
+    assert values["hashchain c=500"] / values["vanilla"] == pytest.approx(155, rel=0.03)
+    assert (values["hashchain c=500"] / values["compresschain c=500"]
+            == pytest.approx(44, rel=0.05))

@@ -1,0 +1,63 @@
+"""Fig. 1 — throughput over time for the three evaluation scenarios.
+
+Paper shape to reproduce (at the documented scale factor):
+
+* left  (5,000 el/s, c=100):  Vanilla and Compresschain saturate far below the
+  offered rate and keep committing long after injection stops; Hashchain keeps
+  up and finishes shortly after the 50 s injection window.
+* center (10,000 el/s, c=100): both Compresschain and Hashchain are stressed,
+  Compresschain much more so.
+* right (10,000 el/s, c=500): the larger collector relieves Hashchain but
+  helps Compresschain far less.
+"""
+
+import pytest
+
+from conftest import BENCH_SCALE, run_once
+from repro.experiments import figures
+
+
+@pytest.fixture(scope="module")
+def figure1_data():
+    return figures.figure1(scale=BENCH_SCALE)
+
+
+def test_figure1_panels(benchmark, figure1_data):
+    data = run_once(benchmark, lambda: figure1_data)
+    print(f"\nFig. 1 — rolling throughput (scale 1/{BENCH_SCALE:g})")
+    for panel, curves in data.items():
+        print(f"  panel {panel}:")
+        for curve in curves:
+            peak = curve.series.peak()
+            print(f"    {curve.label:14s} offered {curve.sending_rate:8.1f} el/s  "
+                  f"peak {peak:8.1f} el/s  analytical {curve.analytical:8.1f} el/s")
+    assert set(data) == {"left", "center", "right"}
+
+
+def test_figure1_left_orderings(figure1_data):
+    curves = {c.label: c for c in figure1_data["left"]}
+    offered = curves["hashchain"].sending_rate
+    # Hashchain keeps up with the offered rate; Vanilla and Compresschain do not.
+    assert curves["hashchain"].series.peak() >= 0.5 * offered
+    assert curves["compresschain"].series.peak() < 0.5 * offered
+    assert curves["vanilla"].series.peak() < curves["compresschain"].series.peak() * 2
+    # Ordering of sustained throughput matches the paper.
+    assert (curves["hashchain"].series.peak() > curves["compresschain"].series.peak()
+            > curves["vanilla"].series.peak() * 0.9)
+
+
+def test_figure1_center_both_stressed(figure1_data):
+    curves = {c.label: c for c in figure1_data["center"]}
+    offered = curves["hashchain"].sending_rate
+    assert curves["hashchain"].series.peak() < offered          # stressed
+    assert curves["compresschain"].series.peak() < curves["hashchain"].series.peak()
+
+
+def test_figure1_right_collector_500_helps_hashchain_more(figure1_data):
+    center = {c.label: c for c in figure1_data["center"]}
+    right = {c.label: c for c in figure1_data["right"]}
+    hash_gain = right["hashchain"].series.peak() / max(center["hashchain"].series.peak(), 1e-9)
+    comp_gain = right["compresschain"].series.peak() / max(center["compresschain"].series.peak(), 1e-9)
+    print(f"\n  collector 100->500 peak gain: hashchain x{hash_gain:.2f}, "
+          f"compresschain x{comp_gain:.2f}")
+    assert hash_gain > comp_gain

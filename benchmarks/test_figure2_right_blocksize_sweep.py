@@ -1,0 +1,31 @@
+"""Fig. 2 (right) — analytical throughput versus ledger block size.
+
+The paper highlights that with CometBFT's usual 4 MB blocks Hashchain reaches
+~10^6 el/s and with 128 MB blocks more than 3x10^7 el/s; Vanilla and
+Compresschain stay orders of magnitude lower at every block size.
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.experiments import figures
+
+
+def test_figure2_right_blocksize_sweep(benchmark):
+    data = run_once(benchmark, figures.figure2_right)
+    print("\nFig. 2 right — analytical throughput vs block size (el/s)")
+    print(f"  {'MB':>6s} {'vanilla':>12s} {'compresschain':>14s} {'hashchain':>12s}")
+    for i, mb in enumerate(data["block_size_mb"]):
+        print(f"  {mb:6g} {data['vanilla'][i]:12.0f} {data['compresschain'][i]:14.0f} "
+              f"{data['hashchain'][i]:12.0f}")
+    sizes = data["block_size_mb"]
+    hashchain = dict(zip(sizes, data["hashchain"]))
+    # Paper's two headline points.
+    assert hashchain[4] == pytest.approx(1.18e6, rel=0.05)
+    assert hashchain[128] > 3e7
+    # Hashchain dominates at every block size; everything is monotone in C.
+    for algo in ("vanilla", "compresschain", "hashchain"):
+        series = data[algo]
+        assert all(a < b for a, b in zip(series, series[1:]))
+    for v, c, h in zip(data["vanilla"], data["compresschain"], data["hashchain"]):
+        assert h > c > v

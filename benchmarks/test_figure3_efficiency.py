@@ -1,0 +1,97 @@
+"""Fig. 3 — efficiency (committed / added) under varying rate, servers, delay.
+
+Three benches, one per panel, each over a representative subset of the paper's
+grid.  Shapes to reproduce:
+
+* 3a: every algorithm reaches (near-)full efficiency at low rates; at 10,000
+  el/s Vanilla collapses, Compresschain degrades badly and a larger collector
+  barely helps it, Hashchain stays far ahead and benefits from c=500.
+* 3b: Vanilla is the least efficient at every cluster size.
+* 3c: adding network delay reduces efficiency.
+"""
+
+import pytest
+
+from conftest import BENCH_SCALE, run_once
+from repro.experiments import figures
+
+
+def by_key(rows, **filters):
+    out = []
+    for row in rows:
+        if all(row[k] == v for k, v in filters.items()):
+            out.append(row)
+    return out
+
+
+def show(rows, title):
+    print(f"\n{title}")
+    for row in rows:
+        print(f"  {row['algorithm']:15s} c={row['collector']:<4d} "
+              f"rate={row['sending_rate']:8.1f} n={row['n_servers']:<3d} "
+              f"delay={row['network_delay_ms']:<4.0f}ms  "
+              f"eff50={row['efficiency_50s']:.2f} eff75={row['efficiency_75s']:.2f} "
+              f"eff100={row['efficiency_100s']:.2f}")
+
+
+def test_figure3a_efficiency_vs_sending_rate(benchmark):
+    rows = run_once(benchmark, figures.figure3a, scale=BENCH_SCALE,
+                    rates=(1_000, 10_000))
+    show(rows, f"Fig. 3a — efficiency vs sending rate (scale 1/{BENCH_SCALE:g})")
+    # Rows are labelled with the paper's (unscaled) sending rates.
+    low = by_key(rows, sending_rate=1_000.0)
+    high = by_key(rows, sending_rate=10_000.0)
+    # Low rate: every algorithm keeps committing after injection (tails are
+    # delayed at this scale by the scaled collector timeout; see EXPERIMENTS.md).
+    assert all(row["efficiency_100s"] > 0.4 for row in low)
+    assert all(row["efficiency_100s"] >= row["efficiency_50s"] for row in low)
+    # High rate: Vanilla has very low efficiency.
+    vanilla_high = by_key(high, algorithm="vanilla")[0]
+    assert vanilla_high["efficiency_50s"] < 0.3
+    # Hashchain dominates (or matches, at c=500 where the down-scaled block
+    # granularity flatters Compresschain) Compresschain at the same collector.
+    for collector in (100, 500):
+        hash_eff = by_key(high, algorithm="hashchain", collector=collector)[0]
+        comp_eff = by_key(high, algorithm="compresschain", collector=collector)[0]
+        assert hash_eff["efficiency_50s"] >= comp_eff["efficiency_50s"] - 0.05
+    assert (by_key(high, algorithm="hashchain", collector=100)[0]["efficiency_50s"]
+            > by_key(high, algorithm="compresschain", collector=100)[0]["efficiency_50s"])
+    # Collector 500 helps Hashchain at the stressed rate.
+    h100 = by_key(high, algorithm="hashchain", collector=100)[0]
+    h500 = by_key(high, algorithm="hashchain", collector=500)[0]
+    assert h500["efficiency_100s"] >= h100["efficiency_100s"] - 0.05
+
+
+def test_figure3b_efficiency_vs_servers(benchmark):
+    rows = run_once(benchmark, figures.figure3b, scale=BENCH_SCALE,
+                    server_counts=(4, 10))
+    show(rows, f"Fig. 3b — efficiency vs number of servers (scale 1/{BENCH_SCALE:g})")
+    for servers in (4, 10):
+        subset = by_key(rows, n_servers=servers)
+        vanilla = by_key(subset, algorithm="vanilla")[0]
+        # Vanilla sits at the bottom at every cluster size (paper Fig. 3b);
+        # Hashchain (either collector size) is far ahead of it.  Compresschain
+        # is not compared pointwise here because the down-scaled block
+        # granularity penalises it more than the paper's setup does (see
+        # EXPERIMENTS.md).
+        for hash_row in by_key(subset, algorithm="hashchain"):
+            assert vanilla["efficiency_50s"] <= hash_row["efficiency_50s"] + 1e-9
+            assert vanilla["efficiency_100s"] <= hash_row["efficiency_100s"] + 1e-9
+        assert vanilla["efficiency_50s"] < 0.3
+
+
+def test_figure3c_efficiency_vs_network_delay(benchmark):
+    rows = run_once(benchmark, figures.figure3c, scale=BENCH_SCALE,
+                    delays_ms=(0, 100))
+    show(rows, f"Fig. 3c — efficiency vs network delay (scale 1/{BENCH_SCALE:g})")
+    for algorithm, collector in (("hashchain", 500), ("compresschain", 500)):
+        no_delay = by_key(rows, algorithm=algorithm, collector=collector,
+                          network_delay_ms=0.0)[0]
+        delayed = by_key(rows, algorithm=algorithm, collector=collector,
+                         network_delay_ms=100.0)[0]
+        # Delay never improves efficiency.
+        assert delayed["efficiency_50s"] <= no_delay["efficiency_50s"] + 0.05
+    # Hashchain c=500 still reaches (near-)full efficiency by 100 s with 100 ms
+    # delay (paper: full efficiency in 100 s).
+    h500 = by_key(rows, algorithm="hashchain", collector=500, network_delay_ms=100.0)[0]
+    assert h500["efficiency_100s"] > 0.7

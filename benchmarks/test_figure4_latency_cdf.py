@@ -1,0 +1,62 @@
+"""Fig. 4 — latency CDFs to the five processing stages.
+
+Scenario: 10 servers, 1,250 el/s, collector 100, no delay (lightly scaled).
+Shapes to reproduce:
+
+* Vanilla reaches the mempools almost immediately (elements are sent straight
+  to the ledger), while Compresschain/Hashchain pay the collector wait first.
+* For Vanilla, the gap from mempool to ledger/commit is tens of seconds.
+* For Compresschain and Hashchain, commit happens within seconds of reaching
+  the mempool, and commit latency stays in the single-digit-seconds range
+  (paper: below 4 s with probability ~1).
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.experiments import figures
+
+#: Fig. 4 is a low-rate scenario, so a small scale keeps it faithful and fast.
+FIG4_SCALE = 12.5
+
+
+@pytest.fixture(scope="module")
+def figure4_data():
+    return figures.figure4(scale=FIG4_SCALE)
+
+
+def test_figure4_latency_cdfs(benchmark, figure4_data):
+    data = run_once(benchmark, lambda: figure4_data)
+    print(f"\nFig. 4 — median latency per stage in seconds (scale 1/{FIG4_SCALE:g})")
+    for algorithm, cdfs in data.items():
+        medians = {stage: cdfs[stage].quantile(0.5) for stage in cdfs if cdfs[stage].count}
+        line = "  ".join(f"{stage}={value:6.2f}" for stage, value in medians.items())
+        print(f"  {algorithm:15s} {line}")
+    assert set(data) == {"vanilla", "compresschain", "hashchain"}
+    for cdfs in data.values():
+        assert {"first_mempool", "quorum_mempools", "all_mempools", "ledger",
+                "committed"} <= set(cdfs)
+
+
+def test_figure4_stage_ordering_and_mempool_gap(figure4_data):
+    for algorithm, cdfs in figure4_data.items():
+        # Stages are reached in order for the median element.
+        assert (cdfs["first_mempool"].quantile(0.5)
+                <= cdfs["quorum_mempools"].quantile(0.5) + 1e-9)
+        assert (cdfs["quorum_mempools"].quantile(0.5)
+                <= cdfs["all_mempools"].quantile(0.5) + 1e-9)
+        assert cdfs["first_mempool"].quantile(0.5) <= cdfs["ledger"].quantile(0.5)
+        assert cdfs["ledger"].quantile(0.5) <= cdfs["committed"].quantile(0.5)
+    # Vanilla hits the mempool faster than the collector-based algorithms.
+    vanilla_mempool = figure4_data["vanilla"]["first_mempool"].quantile(0.5)
+    for algorithm in ("compresschain", "hashchain"):
+        assert vanilla_mempool <= figure4_data[algorithm]["first_mempool"].quantile(0.5)
+
+
+def test_figure4_commit_latency_shape(figure4_data):
+    vanilla_commit = figure4_data["vanilla"]["committed"].quantile(0.5)
+    for algorithm in ("compresschain", "hashchain"):
+        commit = figure4_data[algorithm]["committed"]
+        # Commit latency is seconds-scale and far below Vanilla's.
+        assert commit.quantile(0.9) < 60.0
+        assert commit.quantile(0.5) < vanilla_commit

@@ -1,0 +1,19 @@
+"""Table 1 — the evaluation parameter grid.
+
+Regenerates the parameter table and checks the scenario generator covers the
+full cross product the paper evaluates.
+"""
+
+from conftest import run_once
+from repro.config import table1_grid
+from repro.experiments import tables
+
+
+def test_table1_parameter_grid(benchmark):
+    text = run_once(benchmark, tables.table1)
+    print("\n" + text)
+    grid = table1_grid()
+    assert len(grid) == 180  # 36 vanilla + 72 compresschain + 72 hashchain
+    assert {c.algorithm for c in grid} == {"vanilla", "compresschain", "hashchain"}
+    for token in ("10000, 5000, 1000, 500", "100, 500", "4, 7, 10", "0, 30, 100"):
+        assert token in text

@@ -1,0 +1,11 @@
+"""Setuptools entry point.
+
+The offline evaluation environment has no ``wheel`` package, so the project
+keeps a classic ``setup.py`` to allow legacy editable installs
+(``pip install -e . --no-build-isolation``) without building a PEP 660 wheel.
+All metadata lives in ``pyproject.toml``; this file only triggers setuptools.
+"""
+
+from setuptools import setup
+
+setup()

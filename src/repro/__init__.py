@@ -1,0 +1,56 @@
+"""repro — a reproduction of *Setchain Algorithms for Blockchain Scalability* (IPPS 2025).
+
+The package implements the paper's three Setchain algorithms (Vanilla,
+Compresschain, Hashchain) with epoch-proofs on top of a simulated
+CometBFT-style block-based ledger, plus every substrate they need (discrete-
+event simulation, network, crypto, mempool/consensus, compression, workload)
+and the full evaluation harness.
+
+Quick start::
+
+    from repro import base_scenario, run_scenario
+
+    result = run_scenario(base_scenario("hashchain", sending_rate=500,
+                                        injection_duration=10), scale=1)
+    print(result.avg_throughput_50s, result.efficiency.at_100)
+"""
+
+from .version import __version__
+from .config import (
+    ExperimentConfig,
+    LedgerConfig,
+    SetchainConfig,
+    WorkloadConfig,
+    base_scenario,
+)
+from .core import (
+    BaseSetchainServer,
+    CompresschainServer,
+    HashchainServer,
+    SetchainClient,
+    SetchainView,
+    VanillaServer,
+    build_deployment,
+    run_experiment,
+)
+from .experiments.runner import ExperimentResult, run_scenario, scaled_config
+
+__all__ = [
+    "__version__",
+    "ExperimentConfig",
+    "LedgerConfig",
+    "SetchainConfig",
+    "WorkloadConfig",
+    "base_scenario",
+    "BaseSetchainServer",
+    "VanillaServer",
+    "CompresschainServer",
+    "HashchainServer",
+    "SetchainClient",
+    "SetchainView",
+    "build_deployment",
+    "run_experiment",
+    "ExperimentResult",
+    "run_scenario",
+    "scaled_config",
+]

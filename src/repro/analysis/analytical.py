@@ -1,0 +1,113 @@
+"""The paper's analytical throughput model (Appendix D).
+
+With ``n`` servers, block capacity ``C`` (bytes), block rate ``R`` (blocks/s),
+element length ``le``, epoch-proof length ``lp``, hash-batch length ``lh``,
+collector size ``c`` and compression ratio ``r``:
+
+* Vanilla:        ``Tv = R · (C − n·lp) / le``
+* Compresschain:  ``Tc = R · (c − n) · C / ℓ`` with ``ℓ = ((c − n)·le + n·lp) / r``
+* Hashchain:      ``Th = R · (c − n) · C / (n · lh)``
+
+Appendix D.1 instantiates these with the evaluation parameters and obtains
+Tv ≈ 955, Tc[c=100] ≈ 2497, Tc[c=500] ≈ 3330, Th[c=100] ≈ 27157 and
+Th[c=500] ≈ 147857 el/s; the corresponding benchmark regenerates those values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..config import (
+    DEFAULT_BLOCK_RATE,
+    DEFAULT_BLOCK_SIZE,
+    DEFAULT_ELEMENT_SIZE_MEAN,
+    EPOCH_PROOF_SIZE,
+    HASH_BATCH_SIZE,
+    PAPER_COMPRESSION_RATIO,
+)
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class AnalyticalParameters:
+    """Inputs to the Appendix D formulas."""
+
+    n_servers: int = 10
+    block_size_bytes: float = DEFAULT_BLOCK_SIZE
+    block_rate: float = DEFAULT_BLOCK_RATE
+    element_size: float = DEFAULT_ELEMENT_SIZE_MEAN
+    proof_size: float = EPOCH_PROOF_SIZE
+    hash_batch_size: float = HASH_BATCH_SIZE
+    collector_size: int = 500
+    compression_ratio: float = PAPER_COMPRESSION_RATIO[500]
+
+    def __post_init__(self) -> None:
+        if self.n_servers < 1:
+            raise ConfigurationError("n_servers must be at least 1")
+        if min(self.block_size_bytes, self.block_rate, self.element_size,
+               self.proof_size, self.hash_batch_size, self.compression_ratio) <= 0:
+            raise ConfigurationError("analytical parameters must be positive")
+        if self.collector_size <= self.n_servers:
+            raise ConfigurationError(
+                "collector size must exceed the server count (c > n) for the "
+                "Compresschain/Hashchain formulas to be meaningful")
+
+    def with_(self, **kwargs: object) -> "AnalyticalParameters":
+        """Copy with fields replaced."""
+        return replace(self, **kwargs)  # type: ignore[arg-type]
+
+
+def paper_analysis_parameters(collector_size: int = 500) -> AnalyticalParameters:
+    """The exact parameter set of Appendix D.1 for a given collector size."""
+    ratio = PAPER_COMPRESSION_RATIO.get(collector_size)
+    if ratio is None:
+        # Outside the two calibration points, reuse the nearest one.
+        ratio = PAPER_COMPRESSION_RATIO[100] if collector_size < 300 else PAPER_COMPRESSION_RATIO[500]
+    return AnalyticalParameters(collector_size=collector_size, compression_ratio=ratio)
+
+
+def vanilla_throughput(params: AnalyticalParameters) -> float:
+    """``Tv = R (C − n·lp) / le`` — elements per second."""
+    usable = params.block_size_bytes - params.n_servers * params.proof_size
+    if usable <= 0:
+        return 0.0
+    return params.block_rate * usable / params.element_size
+
+
+def compresschain_throughput(params: AnalyticalParameters) -> float:
+    """``Tc = R (c − n) C / ℓ`` with ``ℓ = ((c − n) le + n lp) / r``."""
+    c_minus_n = params.collector_size - params.n_servers
+    if c_minus_n <= 0:
+        return 0.0
+    epoch_bytes = (c_minus_n * params.element_size
+                   + params.n_servers * params.proof_size) / params.compression_ratio
+    return params.block_rate * c_minus_n * params.block_size_bytes / epoch_bytes
+
+
+def hashchain_throughput(params: AnalyticalParameters) -> float:
+    """``Th = R (c − n) C / (n lh)``."""
+    c_minus_n = params.collector_size - params.n_servers
+    if c_minus_n <= 0:
+        return 0.0
+    return (params.block_rate * c_minus_n * params.block_size_bytes
+            / (params.n_servers * params.hash_batch_size))
+
+
+def throughput_for(algorithm: str, params: AnalyticalParameters) -> float:
+    """Dispatch on algorithm name (light variants share the base formula)."""
+    base = algorithm.replace("-light", "")
+    if base == "vanilla":
+        return vanilla_throughput(params)
+    if base == "compresschain":
+        return compresschain_throughput(params)
+    if base == "hashchain":
+        return hashchain_throughput(params)
+    raise ConfigurationError(f"unknown algorithm {algorithm!r}")
+
+
+def blocksize_sweep(algorithm: str, block_sizes_bytes: list[float],
+                    collector_size: int = 500, n_servers: int = 10) -> list[float]:
+    """Analytical throughput across block sizes (Fig. 2 right)."""
+    params = paper_analysis_parameters(collector_size).with_(n_servers=n_servers)
+    return [throughput_for(algorithm, params.with_(block_size_bytes=size))
+            for size in block_sizes_bytes]

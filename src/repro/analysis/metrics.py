@@ -1,0 +1,178 @@
+"""Metrics collection: per-element lifecycle timestamps and system counters.
+
+The paper instruments its deployment by collecting and post-processing logs;
+here the :class:`MetricsCollector` is handed to every server and client hook
+and records the first time each lifecycle stage is reached *anywhere* in the
+deployment (global first-observation semantics, matching log analysis over all
+containers):
+
+``injected → added → in_ledger → epoch_assigned → committed``
+
+plus the mempool stages of Fig. 4 which are reconstructed post-run from the
+ledger nodes' mempool arrival tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..workload.elements import Element
+
+
+@dataclass
+class ElementRecord:
+    """Lifecycle timestamps (simulated seconds) for one element."""
+
+    element_id: int
+    size_bytes: int = 0
+    injected_at: float | None = None
+    added_at: float | None = None
+    in_ledger_at: float | None = None
+    epoch_number: int | None = None
+    epoch_assigned_at: float | None = None
+    committed_at: float | None = None
+
+    @property
+    def committed(self) -> bool:
+        return self.committed_at is not None
+
+    def commit_latency(self) -> float | None:
+        """Injection-to-commit latency, if both endpoints were observed."""
+        if self.injected_at is None or self.committed_at is None:
+            return None
+        return self.committed_at - self.injected_at
+
+
+@dataclass
+class EpochEvent:
+    """One epoch creation observed at a server."""
+
+    server: str
+    epoch_number: int
+    n_elements: int
+    time: float
+
+
+@dataclass
+class BatchFlushEvent:
+    """One collector flush (batch appended to the ledger in some form)."""
+
+    server: str
+    n_items: int
+    appended_bytes: int
+    time: float
+
+
+class MetricsCollector:
+    """Accumulates raw observations during a run."""
+
+    def __init__(self) -> None:
+        self.elements: dict[int, ElementRecord] = {}
+        #: ledger tx_id -> element ids carried by that transaction.
+        self.tx_elements: dict[int, list[int]] = {}
+        #: Hashchain batch hash -> element ids in the batch behind it.
+        self.hash_elements: dict[str, list[int]] = {}
+        self.epoch_events: list[EpochEvent] = []
+        self.batch_flushes: list[BatchFlushEvent] = []
+        #: (server, success) counts of hash-reversal attempts.
+        self.hash_reversal_success = 0
+        self.hash_reversal_failure = 0
+        #: epoch_number -> first commit observation time.
+        self.epoch_commit_times: dict[int, float] = {}
+
+    # -- element lifecycle ------------------------------------------------------
+
+    def _record(self, element_id: int) -> ElementRecord:
+        record = self.elements.get(element_id)
+        if record is None:
+            record = ElementRecord(element_id=element_id)
+            self.elements[element_id] = record
+        return record
+
+    def record_injected(self, element: Element, time: float) -> None:
+        record = self._record(element.element_id)
+        record.size_bytes = element.size_bytes
+        if record.injected_at is None:
+            record.injected_at = time
+
+    def record_added(self, element: Element, server: str, time: float) -> None:
+        record = self._record(element.element_id)
+        record.size_bytes = element.size_bytes
+        if record.added_at is None:
+            record.added_at = time
+
+    def record_tx_elements(self, tx_id: int, element_ids: Iterable[int]) -> None:
+        self.tx_elements[tx_id] = list(element_ids)
+
+    def record_batch_hash_elements(self, batch_hash: str,
+                                   element_ids: Iterable[int]) -> None:
+        self.hash_elements.setdefault(batch_hash, list(element_ids))
+
+    def record_in_ledger(self, element_id: int, time: float) -> None:
+        record = self._record(element_id)
+        if record.in_ledger_at is None:
+            record.in_ledger_at = time
+
+    def record_in_ledger_by_hash(self, batch_hash: str, time: float) -> None:
+        for element_id in self.hash_elements.get(batch_hash, ()):
+            self.record_in_ledger(element_id, time)
+
+    def record_epoch_assigned(self, element_id: int, epoch_number: int,
+                              time: float) -> None:
+        record = self._record(element_id)
+        if record.epoch_assigned_at is None:
+            record.epoch_assigned_at = time
+            record.epoch_number = epoch_number
+
+    def record_epoch_created(self, server: str, epoch_number: int, n_elements: int,
+                             time: float) -> None:
+        self.epoch_events.append(EpochEvent(server=server, epoch_number=epoch_number,
+                                            n_elements=n_elements, time=time))
+
+    def record_epoch_committed(self, epoch_number: int, elements: Iterable[Element],
+                               time: float, observer: str = "?") -> None:
+        if epoch_number not in self.epoch_commit_times:
+            self.epoch_commit_times[epoch_number] = time
+        for element in elements:
+            record = self._record(element.element_id)
+            if record.committed_at is None:
+                record.committed_at = time
+
+    def record_batch_flush(self, server: str, n_items: int, appended_bytes: int,
+                           time: float) -> None:
+        self.batch_flushes.append(BatchFlushEvent(server=server, n_items=n_items,
+                                                  appended_bytes=appended_bytes,
+                                                  time=time))
+
+    def record_hash_reversal(self, server: str, batch_hash: str, success: bool,
+                             time: float) -> None:
+        if success:
+            self.hash_reversal_success += 1
+        else:
+            self.hash_reversal_failure += 1
+
+    # -- derived summaries ---------------------------------------------------------
+
+    @property
+    def injected_count(self) -> int:
+        return sum(1 for r in self.elements.values() if r.injected_at is not None)
+
+    @property
+    def committed_count(self) -> int:
+        return sum(1 for r in self.elements.values() if r.committed_at is not None)
+
+    def commit_times(self) -> list[float]:
+        """Sorted commit times of every committed element."""
+        return sorted(r.committed_at for r in self.elements.values()
+                      if r.committed_at is not None)
+
+    def commit_latencies(self) -> list[float]:
+        """Injection-to-commit latencies of committed elements."""
+        values = [r.commit_latency() for r in self.elements.values()]
+        return sorted(v for v in values if v is not None)
+
+    def records(self) -> list[ElementRecord]:
+        """All element records, ordered by injection time (unknown last)."""
+        return sorted(self.elements.values(),
+                      key=lambda r: (r.injected_at is None, r.injected_at or 0.0))

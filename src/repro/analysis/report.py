@@ -1,0 +1,51 @@
+"""Plain-text rendering of tables and figure series.
+
+The benchmark harness prints the same rows/series the paper reports; these
+helpers keep the formatting in one place so EXPERIMENTS.md and the benchmark
+output stay consistent.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from .throughput import ThroughputSeries
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 title: str | None = None) -> str:
+    """Fixed-width text table."""
+    columns = [list(map(_fmt, column)) for column in zip(*([headers] + [list(r) for r in rows]))] \
+        if rows else [[_fmt(h)] for h in headers]
+    widths = [max(len(cell) for cell in column) for column in columns]
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(h.ljust(w) for h, w in zip(map(_fmt, headers), widths))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(" | ".join(_fmt(cell).ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(series: Mapping[str, ThroughputSeries], sample_every: float = 10.0,
+                  title: str | None = None) -> str:
+    """Tabulate several throughput series side by side at common sample times."""
+    all_times: set[float] = set()
+    for s in series.values():
+        all_times.update(t for t in s.times if abs(t / sample_every - round(t / sample_every)) < 1e-9)
+    times = sorted(all_times)
+    headers = ["time (s)"] + list(series)
+    rows = [[f"{t:.0f}"] + [f"{series[name].at(t):.1f}" for name in series] for t in times]
+    return render_table(headers, rows, title=title)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        return f"{value:.3g}"
+    return str(value)

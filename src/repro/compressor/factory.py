@@ -1,0 +1,23 @@
+"""Compressor factory keyed by configuration name."""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+from .base import Compressor
+from .model import ModelCompressor
+from .zlib_compressor import ZlibCompressor
+
+
+def make_compressor(name: str, **kwargs: object) -> Compressor:
+    """Build a compressor by name: ``"model"`` or ``"zlib"``."""
+    if name == "model":
+        ratio = kwargs.pop("ratio", None)
+        if kwargs:
+            raise ConfigurationError(f"unknown ModelCompressor options: {sorted(kwargs)}")
+        return ModelCompressor(ratio=ratio)  # type: ignore[arg-type]
+    if name == "zlib":
+        level = int(kwargs.pop("level", 6))  # type: ignore[arg-type]
+        if kwargs:
+            raise ConfigurationError(f"unknown ZlibCompressor options: {sorted(kwargs)}")
+        return ZlibCompressor(level=level)
+    raise ConfigurationError(f"unknown compressor {name!r}; expected 'model' or 'zlib'")

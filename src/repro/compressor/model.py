@@ -1,0 +1,45 @@
+"""Ratio-model compressor pinned to the paper's measured Brotli ratios."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..config import PAPER_COMPRESSION_RATIO
+from .base import CompressedBatch, Compressor
+
+
+def paper_ratio_for_batch(batch_size: int) -> float:
+    """Interpolate the paper's compression ratio for a given collector size.
+
+    The paper reports r ≈ 2.7 at collector size 100 and r ≈ 3.5 at 500; we
+    interpolate linearly between (and clamp outside) those calibration points.
+    """
+    low_c, high_c = 100, 500
+    low_r, high_r = PAPER_COMPRESSION_RATIO[low_c], PAPER_COMPRESSION_RATIO[high_c]
+    if batch_size <= low_c:
+        return low_r
+    if batch_size >= high_c:
+        return high_r
+    frac = (batch_size - low_c) / (high_c - low_c)
+    return low_r + frac * (high_r - low_r)
+
+
+class ModelCompressor(Compressor):
+    """Produce compressed sizes following a fixed or paper-calibrated ratio.
+
+    With ``ratio=None`` (default) the ratio tracks the batch size via
+    :func:`paper_ratio_for_batch`; otherwise the given constant ratio is used.
+    """
+
+    name = "model"
+
+    def __init__(self, ratio: float | None = None) -> None:
+        if ratio is not None and ratio <= 0:
+            raise ValueError("compression ratio must be positive")
+        self.ratio = ratio
+
+    def compress(self, items: Sequence[object], original_size: int) -> CompressedBatch:
+        ratio = self.ratio if self.ratio is not None else paper_ratio_for_batch(len(items))
+        compressed_size = max(1, int(round(original_size / ratio)))
+        return CompressedBatch(items=tuple(items), compressed_size=compressed_size,
+                               original_size=original_size, codec=self.name)

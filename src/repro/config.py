@@ -1,0 +1,253 @@
+"""Experiment and system configuration.
+
+The dataclasses here mirror Table 1 of the paper (evaluation parameters) plus
+the platform constants reported in Section 4 (block rate, block size, element
+and proof lengths).  All sizes are in bytes, rates in elements per second,
+times in (simulated) seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Sequence
+
+from .errors import ConfigurationError
+
+# -- Paper constants (Section 4, "Experiment Scenarios") ---------------------
+
+#: Average Arbitrum transaction size used as a Setchain element (bytes).
+DEFAULT_ELEMENT_SIZE_MEAN = 438.0
+#: Standard deviation of the Arbitrum transaction size (bytes).
+DEFAULT_ELEMENT_SIZE_STD = 753.5
+#: Length of an epoch-proof on the wire (bytes).
+EPOCH_PROOF_SIZE = 139
+#: Length of a hash-batch (hash + signature + server id) on the wire (bytes).
+HASH_BATCH_SIZE = 139
+#: Default CometBFT block size cap used in the evaluation (bytes): 0.5 MB.
+#: The paper's analytical numbers (Appendix D.1) are consistent with binary
+#: megabytes, i.e. 0.5 MB = 512 KiB = 524,288 bytes.
+DEFAULT_BLOCK_SIZE = 524_288
+#: Default CometBFT block production rate (blocks per second): one every 1.25s.
+DEFAULT_BLOCK_RATE = 0.8
+#: Paper's mempool cap after tuning: 10M transactions or 2 GB.
+DEFAULT_MEMPOOL_MAX_TXS = 10_000_000
+DEFAULT_MEMPOOL_MAX_BYTES = 2 * 1024**3
+#: Clients add elements for 50 simulated seconds in every experiment.
+DEFAULT_INJECTION_DURATION = 50.0
+
+#: Compression ratios measured by the paper for Brotli at the two collector sizes.
+PAPER_COMPRESSION_RATIO = {100: 2.7, 500: 3.5}
+
+#: Table 1 parameter grid.
+TABLE1_SENDING_RATES: tuple[int, ...] = (10_000, 5_000, 1_000, 500)
+TABLE1_COLLECTOR_LIMITS: tuple[int, ...] = (100, 500)
+TABLE1_SERVER_COUNTS: tuple[int, ...] = (4, 7, 10)
+TABLE1_NETWORK_DELAYS_MS: tuple[int, ...] = (0, 30, 100)
+
+
+@dataclass(frozen=True)
+class LedgerConfig:
+    """Parameters of the underlying block-based ledger (CometBFT stand-in)."""
+
+    block_size_bytes: int = DEFAULT_BLOCK_SIZE
+    block_rate: float = DEFAULT_BLOCK_RATE
+    mempool_max_txs: int = DEFAULT_MEMPOOL_MAX_TXS
+    mempool_max_bytes: int = DEFAULT_MEMPOOL_MAX_BYTES
+    #: Base one-way message latency between consensus nodes (seconds).
+    base_latency: float = 0.001
+    #: Additional artificial latency added to every message (seconds) —
+    #: the ``network_delay`` parameter of Table 1.
+    network_delay: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.block_size_bytes <= 0:
+            raise ConfigurationError("block_size_bytes must be positive")
+        if self.block_rate <= 0:
+            raise ConfigurationError("block_rate must be positive")
+        if self.mempool_max_txs <= 0 or self.mempool_max_bytes <= 0:
+            raise ConfigurationError("mempool caps must be positive")
+        if self.base_latency < 0 or self.network_delay < 0:
+            raise ConfigurationError("latencies cannot be negative")
+
+    @property
+    def block_interval(self) -> float:
+        """Seconds between consecutive blocks."""
+        return 1.0 / self.block_rate
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Client-side element injection parameters."""
+
+    #: Total element injection rate across all clients (el/s).
+    sending_rate: float = 10_000.0
+    #: How long clients keep adding elements (simulated seconds).
+    injection_duration: float = DEFAULT_INJECTION_DURATION
+    element_size_mean: float = DEFAULT_ELEMENT_SIZE_MEAN
+    element_size_std: float = DEFAULT_ELEMENT_SIZE_STD
+    #: Random seed for the workload generator.
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.sending_rate <= 0:
+            raise ConfigurationError("sending_rate must be positive")
+        if self.injection_duration <= 0:
+            raise ConfigurationError("injection_duration must be positive")
+        if self.element_size_mean <= 0 or self.element_size_std < 0:
+            raise ConfigurationError("element size parameters out of range")
+
+
+@dataclass(frozen=True)
+class SetchainConfig:
+    """Setchain-layer parameters shared by the three algorithms."""
+
+    #: Number of Setchain servers (``server_count`` in Table 1).
+    n_servers: int = 10
+    #: Maximum number of Byzantine servers tolerated.  The paper requires
+    #: f < n/2 at the Setchain layer; the CometBFT substrate needs f < n/3.
+    f: int | None = None
+    #: Collector size in elements (``collector_limit`` in Table 1).
+    collector_limit: int = 100
+    #: Collector flush timeout: a non-empty batch is flushed after this many
+    #: seconds even if the collector limit has not been reached.
+    collector_timeout: float = 1.0
+    #: Timeout waiting for a Request_batch reply in Hashchain (seconds).
+    batch_request_timeout: float = 1.0
+    #: Name of the signature scheme ("ed25519" or "simulated").
+    signature_scheme: str = "simulated"
+    #: Name of the compressor ("zlib" or "model").
+    compressor: str = "model"
+    #: Serial per-element deserialisation/validation cost (seconds) paid by a
+    #: server when processing batches it did not build itself (Compresschain
+    #: decompression+validation, Hashchain hash-reversal).  Calibrated so the
+    #: Hashchain hash-reversal ceiling sits near the paper's ~20,000 el/s.
+    element_validation_time: float = 5e-5
+    #: Fixed per-ledger-transaction processing overhead (seconds).
+    tx_processing_overhead: float = 1e-4
+
+    def __post_init__(self) -> None:
+        if self.n_servers < 1:
+            raise ConfigurationError("n_servers must be at least 1")
+        if self.collector_limit < 1:
+            raise ConfigurationError("collector_limit must be at least 1")
+        if self.collector_timeout <= 0 or self.batch_request_timeout <= 0:
+            raise ConfigurationError("timeouts must be positive")
+        if self.element_validation_time < 0 or self.tx_processing_overhead < 0:
+            raise ConfigurationError("processing costs cannot be negative")
+        f = self.f
+        if f is not None:
+            if f < 0:
+                raise ConfigurationError("f cannot be negative")
+            if f >= self.n_servers / 2:
+                raise ConfigurationError(
+                    f"Setchain requires f < n/2 (got f={f}, n={self.n_servers})"
+                )
+
+    @property
+    def max_faulty(self) -> int:
+        """Resolved ``f``: explicit value, or the largest f with f < n/2."""
+        if self.f is not None:
+            return self.f
+        return max(0, (self.n_servers - 1) // 2)
+
+    @property
+    def quorum(self) -> int:
+        """Signers/proofs needed to trust an epoch: ``f + 1``."""
+        return self.max_faulty + 1
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Everything needed to run one evaluation scenario end to end."""
+
+    algorithm: str = "hashchain"
+    setchain: SetchainConfig = field(default_factory=SetchainConfig)
+    ledger: LedgerConfig = field(default_factory=LedgerConfig)
+    workload: WorkloadConfig = field(default_factory=WorkloadConfig)
+    #: Which ledger implementation backs the run: "cometbft" (full consensus
+    #: simulation) or "ideal" (centralized sequencer, fast sweeps).
+    ledger_backend: str = "cometbft"
+    #: Total simulated time to run after injection stops (seconds).
+    drain_duration: float = 100.0
+    #: Label used by reports.
+    label: str = ""
+
+    _ALGORITHMS = ("vanilla", "compresschain", "hashchain", "hashchain-light",
+                   "compresschain-light")
+    _BACKENDS = ("cometbft", "ideal")
+
+    def __post_init__(self) -> None:
+        if self.algorithm not in self._ALGORITHMS:
+            raise ConfigurationError(
+                f"unknown algorithm {self.algorithm!r}; expected one of {self._ALGORITHMS}"
+            )
+        if self.ledger_backend not in self._BACKENDS:
+            raise ConfigurationError(
+                f"unknown ledger backend {self.ledger_backend!r}; expected one of {self._BACKENDS}"
+            )
+        if self.drain_duration < 0:
+            raise ConfigurationError("drain_duration cannot be negative")
+
+    @property
+    def total_duration(self) -> float:
+        return self.workload.injection_duration + self.drain_duration
+
+    def with_overrides(self, **kwargs: object) -> "ExperimentConfig":
+        """Return a copy with top-level fields replaced."""
+        return replace(self, **kwargs)  # type: ignore[arg-type]
+
+
+def base_scenario(algorithm: str = "hashchain", **kwargs: object) -> ExperimentConfig:
+    """The paper's base scenario: 10 servers, 10,000 el/s, no network delay.
+
+    Keyword overrides are applied to the nested configs by name:
+    ``sending_rate``, ``collector_limit``, ``n_servers``, ``network_delay``
+    (milliseconds, matching Table 1), ``block_size_bytes``, ``injection_duration``.
+    """
+    sending_rate = float(kwargs.pop("sending_rate", 10_000.0))
+    collector_limit = int(kwargs.pop("collector_limit", 100))
+    n_servers = int(kwargs.pop("n_servers", 10))
+    network_delay_ms = float(kwargs.pop("network_delay_ms", 0.0))
+    block_size = int(kwargs.pop("block_size_bytes", DEFAULT_BLOCK_SIZE))
+    injection = float(kwargs.pop("injection_duration", DEFAULT_INJECTION_DURATION))
+    seed = int(kwargs.pop("seed", 0))
+    label = str(kwargs.pop("label", ""))
+    ledger_backend = str(kwargs.pop("ledger_backend", "cometbft"))
+    drain = float(kwargs.pop("drain_duration", 100.0))
+    if kwargs:
+        raise ConfigurationError(f"unknown scenario overrides: {sorted(kwargs)}")
+    return ExperimentConfig(
+        algorithm=algorithm,
+        setchain=SetchainConfig(n_servers=n_servers, collector_limit=collector_limit),
+        ledger=LedgerConfig(block_size_bytes=block_size,
+                            network_delay=network_delay_ms / 1000.0),
+        workload=WorkloadConfig(sending_rate=sending_rate,
+                                injection_duration=injection, seed=seed),
+        ledger_backend=ledger_backend,
+        drain_duration=drain,
+        label=label or f"{algorithm} rate={sending_rate:g} c={collector_limit} n={n_servers}",
+    )
+
+
+def table1_grid() -> Sequence[ExperimentConfig]:
+    """Every combination of the Table 1 parameters for every algorithm.
+
+    Returned lazily as a list; callers typically filter before running since a
+    full sweep is large.
+    """
+    grid: list[ExperimentConfig] = []
+    for algorithm in ("vanilla", "compresschain", "hashchain"):
+        for rate in TABLE1_SENDING_RATES:
+            for servers in TABLE1_SERVER_COUNTS:
+                for delay in TABLE1_NETWORK_DELAYS_MS:
+                    if algorithm == "vanilla":
+                        grid.append(base_scenario(algorithm, sending_rate=rate,
+                                                  n_servers=servers,
+                                                  network_delay_ms=delay))
+                        continue
+                    for collector in TABLE1_COLLECTOR_LIMITS:
+                        grid.append(base_scenario(algorithm, sending_rate=rate,
+                                                  n_servers=servers,
+                                                  network_delay_ms=delay,
+                                                  collector_limit=collector))
+    return grid

@@ -1,0 +1,249 @@
+"""Shared machinery of the three Setchain server algorithms.
+
+A :class:`BaseSetchainServer` is simultaneously:
+
+* a :class:`~repro.net.node.NetworkNode` (so Hashchain servers can exchange
+  ``Request_batch`` traffic directly), and
+* an ABCI :class:`~repro.ledger.abci.Application` receiving ``FinalizeBlock``
+  callbacks from its co-located ledger node — the paper's ``new_block(B)``.
+
+Block processing runs through a *serial work queue* with modelled service
+times (per-transaction overhead plus per-element validation cost for foreign
+batches).  This is what turns the paper's observed processing bottlenecks —
+Compresschain's decompression/validation and Hashchain's hash-reversal — into
+measurable backlog in the simulation instead of instantaneous handlers.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING
+
+from ..config import SetchainConfig
+from ..crypto.keys import KeyPair
+from ..crypto.signatures import SignatureScheme
+from ..errors import SetchainError
+from ..ledger.abci import Application, LedgerInterface
+from ..ledger.types import Block, Transaction, new_transaction
+from ..net.node import NetworkNode
+from ..sim.scheduler import Simulator
+from ..workload.elements import Element
+from .proofs import create_epoch_proof
+from .types import EpochProof, SetchainView, epoch_proof_payload
+from .validation import valid_element
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..analysis.metrics import MetricsCollector
+
+
+class BaseSetchainServer(NetworkNode, Application):
+    """State and behaviour common to Vanilla, Compresschain, and Hashchain."""
+
+    #: Human-readable algorithm name, overridden by subclasses.
+    algorithm = "base"
+
+    def __init__(self, name: str, sim: Simulator, config: SetchainConfig,
+                 scheme: SignatureScheme, keypair: KeyPair,
+                 metrics: "MetricsCollector | None" = None) -> None:
+        NetworkNode.__init__(self, name, sim)
+        if keypair.owner != name:
+            raise SetchainError("server keypair must be issued to the server itself")
+        self.config = config
+        self.scheme = scheme
+        self.keypair = keypair
+        self.metrics = metrics
+        # Setchain state (paper §2): the_set, history, epoch, proofs.
+        self._the_set: dict[int, Element] = {}
+        self._history: dict[int, set[Element]] = {}
+        self._epoch = 0
+        self._proofs: set[EpochProof] = set()
+        self._epoched_ids: set[int] = set()
+        #: Cache of this server's own epoch hashes, so incoming proofs can be
+        #: checked against the epoch content without re-hashing the epoch for
+        #: every proof (the dominant cost at high rates).
+        self._epoch_hashes: dict[int, str] = {}
+        # Per-epoch distinct proof signers, for the f+1 commit rule.
+        self._proof_signers: dict[int, set[str]] = {}
+        self._committed_epochs: set[int] = set()
+        # Ledger hookup.
+        self._ledger: LedgerInterface | None = None
+        # Serial block-processing pipeline.
+        self._work: deque[tuple[str, Block, Transaction | None]] = deque()
+        self._busy = False
+        # Observability counters.
+        self.rejected_elements = 0
+        self.duplicate_adds = 0
+        self.invalid_proofs = 0
+        self.blocks_processed = 0
+
+    # -- wiring ----------------------------------------------------------------
+
+    def connect_ledger(self, ledger: LedgerInterface) -> None:
+        """Attach the co-located ledger node and subscribe for block callbacks."""
+        if self._ledger is not None:
+            raise SetchainError(f"server {self.name!r} is already connected to a ledger")
+        self._ledger = ledger
+        ledger.subscribe(self)
+
+    @property
+    def ledger(self) -> LedgerInterface:
+        if self._ledger is None:
+            raise SetchainError(f"server {self.name!r} has no ledger attached")
+        return self._ledger
+
+    def start(self) -> None:
+        """Hook for subclasses that need startup work (default: none)."""
+
+    # -- Setchain API (paper §2) -------------------------------------------------
+
+    def add(self, element: Element) -> bool:
+        """``S.add_v(e)``: accept a valid, new element into ``the_set``.
+
+        Returns ``True`` if the element was accepted.  Invalid elements are
+        rejected (the pseudocode's ``assert valid_element(e)``); duplicates are
+        ignored.
+        """
+        if not valid_element(element):
+            self.rejected_elements += 1
+            return False
+        if element.element_id in self._the_set:
+            self.duplicate_adds += 1
+            return False
+        self._the_set[element.element_id] = element
+        if self.metrics is not None:
+            self.metrics.record_added(element, self.name, self.sim.now)
+        self._after_add(element)
+        return True
+
+    def get(self) -> SetchainView:
+        """``S.get_v()``: snapshot of ``(the_set, history, epoch, proofs)``."""
+        return SetchainView.snapshot(self._the_set, self._history, self._epoch,
+                                     self._proofs)
+
+    # -- state helpers shared by the algorithms -----------------------------------
+
+    @property
+    def epoch(self) -> int:
+        return self._epoch
+
+    @property
+    def the_set_size(self) -> int:
+        return len(self._the_set)
+
+    def epoch_elements(self, epoch_number: int) -> set[Element] | None:
+        return self._history.get(epoch_number)
+
+    def committed_epoch_numbers(self) -> set[int]:
+        """Epochs this server has seen reach f+1 distinct proofs."""
+        return set(self._committed_epochs)
+
+    def _known_in_history(self, element: Element) -> bool:
+        return element.element_id in self._epoched_ids
+
+    def _add_to_the_set(self, element: Element) -> None:
+        self._the_set.setdefault(element.element_id, element)
+
+    def _record_new_epoch(self, elements: set[Element], block: Block) -> EpochProof:
+        """Create epoch ``self._epoch + 1`` from ``elements`` and sign its proof."""
+        self._epoch += 1
+        self._history[self._epoch] = set(elements)
+        for element in elements:
+            self._epoched_ids.add(element.element_id)
+        if self.metrics is not None:
+            self.metrics.record_epoch_created(self.name, self._epoch, len(elements),
+                                              self.sim.now)
+            for element in elements:
+                self.metrics.record_epoch_assigned(element.element_id, self._epoch,
+                                                   self.sim.now)
+        proof = create_epoch_proof(self.scheme, self.keypair, self._epoch, elements)
+        self._epoch_hashes[self._epoch] = proof.epoch_hash
+        return proof
+
+    def _proof_matches_local_epoch(self, proof: EpochProof) -> bool:
+        """Equivalent of ``valid_proof`` using the cached local epoch hash."""
+        expected = self._epoch_hashes.get(proof.epoch_number)
+        if expected is None or expected != proof.epoch_hash:
+            return False
+        return self.scheme.verify(
+            proof.signer,
+            epoch_proof_payload(proof.epoch_number, proof.epoch_hash),
+            proof.signature)
+
+    def _absorb_proofs(self, candidates: list[EpochProof]) -> None:
+        """Validate and store epoch-proofs, tracking the f+1 commit rule."""
+        for proof in candidates:
+            elements = self._history.get(proof.epoch_number)
+            if elements is None or not self._proof_matches_local_epoch(proof):
+                self.invalid_proofs += 1
+                continue
+            if proof in self._proofs:
+                continue
+            self._proofs.add(proof)
+            signers = self._proof_signers.setdefault(proof.epoch_number, set())
+            signers.add(proof.signer)
+            if (len(signers) >= self.config.quorum
+                    and proof.epoch_number not in self._committed_epochs):
+                self._committed_epochs.add(proof.epoch_number)
+                if self.metrics is not None and elements is not None:
+                    self.metrics.record_epoch_committed(
+                        proof.epoch_number, elements, self.sim.now, observer=self.name)
+
+    def _append_to_ledger(self, payload: object, size_bytes: int) -> Transaction:
+        """``L.append`` with bookkeeping of the originating server."""
+        tx = new_transaction(payload, size_bytes, origin=self.name,
+                             created_at=self.sim.now)
+        self.ledger.append(tx)
+        return tx
+
+    # -- ABCI / block-processing pipeline ------------------------------------------
+
+    def check_tx(self, tx: Transaction) -> bool:
+        """Mempool admission: accept anything shaped like Setchain traffic."""
+        return True
+
+    def finalize_block(self, block: Block) -> None:
+        """Enqueue the block's transactions for serial processing."""
+        self.blocks_processed += 1
+        for tx in block.transactions:
+            self._work.append(("tx", block, tx))
+        self._work.append(("end", block, None))
+        if not self._busy:
+            self._busy = True
+            self.sim.call_soon(self._process_next)
+
+    @property
+    def backlog(self) -> int:
+        """Pending work items (a stressed server accumulates backlog here)."""
+        return len(self._work)
+
+    def _process_next(self) -> None:
+        if not self._work:
+            self._busy = False
+            return
+        kind, block, tx = self._work.popleft()
+        if kind == "tx":
+            assert tx is not None
+            self._handle_tx(block, tx)
+        else:
+            self._handle_block_end(block)
+            self._finish_after(0.0)
+
+    def _finish_after(self, duration: float) -> None:
+        """Mark the current work item done after ``duration`` seconds of service time."""
+        if duration <= 0:
+            self.sim.call_soon(self._process_next)
+        else:
+            self.sim.call_in(duration, self._process_next)
+
+    # -- hooks implemented by the concrete algorithms --------------------------------
+
+    def _after_add(self, element: Element) -> None:
+        """What to do with a freshly added element (append vs collect)."""
+        raise NotImplementedError
+
+    def _handle_tx(self, block: Block, tx: Transaction) -> None:
+        """Process one ledger transaction; must call :meth:`_finish_after` exactly once."""
+        raise NotImplementedError
+
+    def _handle_block_end(self, block: Block) -> None:
+        """Called after the last transaction of a block (synchronous, zero cost)."""

@@ -1,0 +1,62 @@
+"""Local hash→batch registry used by Hashchain (``hash_to_batch`` / ``Register_batch``).
+
+Each server keeps the batches it has seen keyed by their hash so it can serve
+``Request_batch`` calls from peers.  The store also tracks which hashes were
+registered locally (our own collector flushes) versus recovered from peers,
+which the analysis layer uses to count hash-reversal traffic.
+"""
+
+from __future__ import annotations
+
+from ..errors import BatchUnavailableError
+
+
+class BatchStore:
+    """hash → tuple(items) with provenance accounting."""
+
+    def __init__(self) -> None:
+        self._batches: dict[str, tuple[object, ...]] = {}
+        self._local_hashes: set[str] = set()
+        #: Number of Request_batch calls served to peers.
+        self.served_requests = 0
+        #: Number of batches recovered from peers (hash-reversal successes).
+        self.recovered = 0
+
+    def __contains__(self, batch_hash: str) -> bool:
+        return batch_hash in self._batches
+
+    def __len__(self) -> int:
+        return len(self._batches)
+
+    def register_local(self, batch_hash: str, items: tuple[object, ...]) -> None:
+        """``Register_batch`` for a batch this server built itself."""
+        self._batches[batch_hash] = items
+        self._local_hashes.add(batch_hash)
+
+    def register_remote(self, batch_hash: str, items: tuple[object, ...]) -> None:
+        """Store a batch recovered from a peer via ``Request_batch``."""
+        if batch_hash not in self._batches:
+            self.recovered += 1
+        self._batches[batch_hash] = items
+
+    def get(self, batch_hash: str) -> tuple[object, ...] | None:
+        """The batch behind ``batch_hash``, or ``None`` if unknown."""
+        return self._batches.get(batch_hash)
+
+    def require(self, batch_hash: str) -> tuple[object, ...]:
+        """Like :meth:`get` but raises :class:`BatchUnavailableError` when missing."""
+        items = self._batches.get(batch_hash)
+        if items is None:
+            raise BatchUnavailableError(f"no batch stored for hash {batch_hash[:16]}…")
+        return items
+
+    def serve(self, batch_hash: str) -> tuple[object, ...] | None:
+        """Answer a peer's Request_batch; counts served requests."""
+        items = self._batches.get(batch_hash)
+        if items is not None:
+            self.served_requests += 1
+        return items
+
+    def is_local(self, batch_hash: str) -> bool:
+        """True if this server originated the batch (no hash-reversal needed)."""
+        return batch_hash in self._local_hashes

@@ -1,0 +1,119 @@
+"""Byzantine server behaviours for fault-injection tests.
+
+The system model allows up to ``f < n/2`` Byzantine Setchain servers.  The
+classes here subclass the correct algorithms and misbehave in specific,
+targeted ways so tests can check that the correct servers' guarantees
+(Properties 1-8) survive each behaviour:
+
+* :class:`WithholdingHashchainServer` — signs and appends hash-batches but
+  never answers ``Request_batch`` (the attack the f+1 consolidation rule is
+  designed to neutralise).
+* :class:`WrongHashHashchainServer` — appends hash-batches whose hash matches
+  no batch it is willing to serve.
+* :class:`InvalidElementVanillaServer` — appends syntactically invalid
+  elements straight to the ledger.
+* :class:`EquivocatingProofServer` — signs epoch-proofs over garbage hashes.
+* :class:`SilentServer` — accepts adds but never appends anything (drops
+  client elements on the floor).
+"""
+
+from __future__ import annotations
+
+from ..config import EPOCH_PROOF_SIZE, HASH_BATCH_SIZE
+from ..crypto.hashing import hash_batch
+from ..ledger.types import Block
+from ..net.message import Message
+from ..workload.elements import Element, make_element
+from .hashchain import HashchainServer
+from .types import EpochProof, HashBatch, epoch_proof_payload, hash_batch_payload
+from .vanilla import VanillaServer
+
+
+def make_invalid_element(client: str = "byzantine-client", size_bytes: int = 400,
+                         created_at: float = 0.0) -> Element:
+    """An element that fails ``valid_element`` (models a bad client signature)."""
+    return make_element(client=client, size_bytes=size_bytes,
+                        created_at=created_at, valid=False)
+
+
+class WithholdingHashchainServer(HashchainServer):
+    """Appends hash-batches but refuses to serve their contents."""
+
+    algorithm = "hashchain-byz-withhold"
+
+    def _on_request_batch(self, message: Message) -> None:
+        # Silently ignore the request; the requester will hit its timeout.
+        return
+
+
+class WrongHashHashchainServer(HashchainServer):
+    """Appends hash-batches whose hash corresponds to no real batch."""
+
+    algorithm = "hashchain-byz-wronghash"
+
+    def _flush_batch(self, batch) -> None:  # type: ignore[override]
+        bogus_hash = hash_batch([f"bogus-{self.sim.now}-{len(batch)}"])
+        signature = self.scheme.sign(self.keypair, hash_batch_payload(bogus_hash))
+        hb = HashBatch(batch_hash=bogus_hash, signature=signature, signer=self.name)
+        self._signed_hashes.add(bogus_hash)
+        self._append_to_ledger(hb, HASH_BATCH_SIZE)
+
+    def _on_request_batch(self, message: Message) -> None:
+        # It cannot serve a batch it never built; reply with nothing useful.
+        self.send(message.sender, "batch_response", (message.payload, None),
+                  size_bytes=64)
+
+
+class InvalidElementVanillaServer(VanillaServer):
+    """Floods the ledger with invalid elements alongside normal behaviour."""
+
+    algorithm = "vanilla-byz-invalid"
+
+    def __init__(self, *args, invalid_per_add: int = 1, **kwargs) -> None:  # type: ignore[no-untyped-def]
+        super().__init__(*args, **kwargs)
+        self.invalid_per_add = invalid_per_add
+
+    def _after_add(self, element: Element) -> None:
+        super()._after_add(element)
+        for _ in range(self.invalid_per_add):
+            junk = make_invalid_element(created_at=self.sim.now)
+            self._append_to_ledger(junk, junk.size_bytes)
+
+
+class EquivocatingProofServer(VanillaServer):
+    """Signs epoch-proofs over a hash unrelated to the real epoch content."""
+
+    algorithm = "vanilla-byz-equivocate"
+
+    def _handle_block_end(self, block: Block) -> None:
+        if not self._block_elements:
+            return
+        new_epoch = set(self._block_elements.values())
+        self._block_elements = {}
+        for element in new_epoch:
+            self._add_to_the_set(element)
+        proof = self._record_new_epoch(new_epoch, block)
+        bogus_hash = "0" * len(proof.epoch_hash)
+        bogus = EpochProof(
+            epoch_number=proof.epoch_number,
+            epoch_hash=bogus_hash,
+            signature=self.scheme.sign(
+                self.keypair, epoch_proof_payload(proof.epoch_number, bogus_hash)),
+            signer=self.name,
+        )
+        self._append_to_ledger(bogus, EPOCH_PROOF_SIZE)
+
+
+class SilentServer(VanillaServer):
+    """Accepts adds but never forwards anything to the ledger."""
+
+    algorithm = "vanilla-byz-silent"
+
+    def _after_add(self, element: Element) -> None:
+        # Drop the element: it stays in this server's the_set but never
+        # reaches the ledger through this server.
+        return
+
+    def _handle_block_end(self, block: Block) -> None:
+        # Also never contribute epoch-proofs.
+        self._block_elements = {}

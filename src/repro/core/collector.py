@@ -1,0 +1,73 @@
+"""The collector: batches client elements and epoch-proofs before the ledger.
+
+Compresschain and Hashchain hold added items in a collector until either the
+collector size is reached or a timeout expires with a non-empty batch
+(``isReady(batch)`` in the pseudocode).  The collector then hands the batch to
+a flush callback — compression + append for Compresschain, hash + sign +
+append for Hashchain — and resets.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from ..errors import ConfigurationError
+from ..sim.process import Timer
+from ..sim.scheduler import Simulator
+
+FlushCallback = Callable[[Sequence[object]], None]
+
+
+class Collector:
+    """Size-or-timeout batching of Setchain items."""
+
+    def __init__(self, sim: Simulator, limit: int, timeout: float,
+                 on_flush: FlushCallback) -> None:
+        if limit < 1:
+            raise ConfigurationError("collector limit must be at least 1")
+        if timeout <= 0:
+            raise ConfigurationError("collector timeout must be positive")
+        self.sim = sim
+        self.limit = limit
+        self.timeout = timeout
+        self.on_flush = on_flush
+        self._batch: list[object] = []
+        self._timer = Timer(sim, self._on_timeout)
+        #: Number of flushes triggered by reaching the size limit / by timeout.
+        self.size_flushes = 0
+        self.timeout_flushes = 0
+
+    def __len__(self) -> int:
+        return len(self._batch)
+
+    @property
+    def pending(self) -> tuple[object, ...]:
+        """Current batch contents (copy)."""
+        return tuple(self._batch)
+
+    def add(self, item: object) -> None:
+        """``add_to_batch(e)``: append an element or epoch-proof to the batch."""
+        if not self._batch:
+            self._timer.start(self.timeout)
+        self._batch.append(item)
+        if len(self._batch) >= self.limit:
+            self.size_flushes += 1
+            self._flush()
+
+    def flush_now(self) -> None:
+        """Force a flush of a non-empty batch (used at experiment drain time)."""
+        if self._batch:
+            self.timeout_flushes += 1
+            self._flush()
+
+    def _on_timeout(self) -> None:
+        if self._batch:
+            self.timeout_flushes += 1
+            self._flush()
+
+    def _flush(self) -> None:
+        self._timer.cancel()
+        batch, self._batch = self._batch, []
+        # Contract of the pseudocode's `assert batch != ∅`.
+        assert batch, "collector flushed an empty batch"
+        self.on_flush(batch)

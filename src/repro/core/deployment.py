@@ -1,0 +1,170 @@
+"""Cluster deployment: build a complete, runnable Setchain system.
+
+A :class:`Deployment` mirrors the paper's evaluation platform: ``n`` docker
+containers, each holding one client, one collector, and one ledger server,
+become ``n`` triples of (injection client, Setchain server, ledger node) wired
+over a latency-modelled network, plus a metrics collector standing in for the
+log analysis pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..analysis.metrics import MetricsCollector
+from ..compressor.factory import make_compressor
+from ..config import ExperimentConfig
+from ..crypto.keys import PublicKeyInfrastructure
+from ..crypto.signatures import SignatureScheme, make_scheme
+from ..errors import ConfigurationError
+from ..ledger.cometbft.engine import CometBFTNetwork
+from ..ledger.ideal import IdealLedger
+from ..net.latency import lan_profile
+from ..net.network import Network
+from ..sim.scheduler import Simulator
+from ..workload.clients import ClientPool
+from ..workload.elements import Element
+from .base import BaseSetchainServer
+from .batch_store import BatchStore
+from .compresschain import CompresschainServer
+from .hashchain import HashchainServer
+from .properties import check_all
+from .types import SetchainView
+from .vanilla import VanillaServer
+
+
+@dataclass
+class Deployment:
+    """Everything built for one experiment run."""
+
+    config: ExperimentConfig
+    sim: Simulator
+    network: Network
+    scheme: SignatureScheme
+    servers: list[BaseSetchainServer]
+    clients: ClientPool
+    metrics: MetricsCollector
+    ledger_backend: object
+    injected_elements: list[Element] = field(default_factory=list)
+
+    # -- running ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Start ledger block production, servers, and client injection."""
+        backend = self.ledger_backend
+        backend.start()  # type: ignore[attr-defined]
+        for server in self.servers:
+            server.start()
+        self.clients.start()
+
+    def run(self, until: float | None = None) -> None:
+        """Run the simulation for the configured experiment duration."""
+        horizon = until if until is not None else self.config.total_duration
+        self.sim.run_until(horizon)
+
+    def run_to_completion(self, extra_time: float = 200.0,
+                          poll: float = 1.0) -> None:
+        """Run past the configured horizon until every injected element commits
+        (or ``extra_time`` more simulated seconds elapse)."""
+        self.run()
+        deadline = self.sim.now + extra_time
+
+        def all_committed() -> bool:
+            return (self.clients.all_finished
+                    and self.metrics.committed_count >= len(self.injected_elements) > 0)
+
+        self.sim.run_until_condition(all_committed, check_interval=poll,
+                                     max_time=deadline)
+
+    # -- views and checks ------------------------------------------------------------
+
+    def views(self) -> dict[str, SetchainView]:
+        """get() snapshots of every (assumed-correct) server."""
+        return {server.name: server.get() for server in self.servers}
+
+    def check_properties(self, include_liveness: bool = True):  # type: ignore[no-untyped-def]
+        """Run the Property 1-8 checkers over the current views."""
+        return check_all(self.views(), quorum=self.config.setchain.quorum,
+                         all_added=self.injected_elements,
+                         include_liveness=include_liveness)
+
+    @property
+    def committed_fraction(self) -> float:
+        """Fraction of injected elements committed so far (the efficiency metric)."""
+        if not self.injected_elements:
+            return 0.0
+        return self.metrics.committed_count / len(self.injected_elements)
+
+
+def build_deployment(config: ExperimentConfig, seed: int | None = None) -> Deployment:
+    """Construct (but do not start) a full deployment for ``config``."""
+    sim = Simulator(seed=seed if seed is not None else config.workload.seed)
+    latency = lan_profile(network_delay=config.ledger.network_delay)
+    network = Network(sim, latency=latency)
+    pki = PublicKeyInfrastructure()
+    scheme = make_scheme(config.setchain.signature_scheme, pki)
+    metrics = MetricsCollector()
+
+    n = config.setchain.n_servers
+    algorithm = config.algorithm
+    light = algorithm.endswith("-light")
+    base_algorithm = algorithm.replace("-light", "")
+
+    # Ledger backend: either a full CometBFT validator per server or one
+    # shared ideal sequencer.
+    if config.ledger_backend == "cometbft":
+        cometbft = CometBFTNetwork(sim, network, n, config.ledger)
+        ledger_handles = cometbft.node_list()
+        ledger_backend: object = cometbft
+    else:
+        ideal = IdealLedger(sim, config.ledger)
+        ledger_handles = [ideal.handle_for(f"server-{i}") for i in range(n)]
+        ledger_backend = ideal
+
+    shared_store = BatchStore() if (light and base_algorithm == "hashchain") else None
+
+    servers: list[BaseSetchainServer] = []
+    for index in range(n):
+        name = f"server-{index}"
+        keypair = scheme.generate_keypair(name, deployment_seed=config.workload.seed)
+        if base_algorithm == "vanilla":
+            server: BaseSetchainServer = VanillaServer(
+                name, sim, config.setchain, scheme, keypair, metrics=metrics)
+        elif base_algorithm == "compresschain":
+            compressor = make_compressor(config.setchain.compressor)
+            server = CompresschainServer(name, sim, config.setchain, scheme, keypair,
+                                         compressor, metrics=metrics, light=light)
+        elif base_algorithm == "hashchain":
+            server = HashchainServer(name, sim, config.setchain, scheme, keypair,
+                                     metrics=metrics, light=light,
+                                     shared_store=shared_store)
+        else:  # pragma: no cover - guarded by ExperimentConfig validation
+            raise ConfigurationError(f"unknown algorithm {algorithm!r}")
+        network.register(server)
+        server.connect_ledger(ledger_handles[index])
+        servers.append(server)
+
+    injected: list[Element] = []
+
+    def on_element(element: Element) -> None:
+        injected.append(element)
+        metrics.record_injected(element, sim.now)
+
+    clients = ClientPool(sim, targets=list(servers), workload=config.workload,
+                         on_element=on_element)
+
+    return Deployment(config=config, sim=sim, network=network, scheme=scheme,
+                      servers=servers, clients=clients, metrics=metrics,
+                      ledger_backend=ledger_backend, injected_elements=injected)
+
+
+def run_experiment(config: ExperimentConfig, seed: int | None = None,
+                   to_completion: bool = False) -> Deployment:
+    """Build, start, and run a deployment; returns it with metrics populated."""
+    deployment = build_deployment(config, seed=seed)
+    deployment.start()
+    if to_completion:
+        deployment.run_to_completion()
+    else:
+        deployment.run()
+    return deployment

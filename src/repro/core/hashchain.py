@@ -1,0 +1,241 @@
+"""Algorithm Hashchain (paper §3) — the paper's primary contribution.
+
+A ready collector batch is hashed; only the fixed-size, signed *hash-batch*
+``⟨h, s, v⟩`` is appended to the ledger, so ledger bandwidth per epoch shrinks
+from hundreds of kilobytes to ``n × 139`` bytes.  The price is hash reversal:
+a server that sees a hash it cannot resolve must fetch the batch contents from
+the hash-batch's signer (``Request_batch``), and an epoch only *consolidates*
+once hash-batches for the same hash from ``f + 1`` distinct signers appear in
+the ledger — guaranteeing at least one correct server can serve the contents.
+
+The "light" variant reproduces the paper's Fig. 2 ablation: the hash-reversal
+service and hash-batch validation are removed and all servers are assumed
+correct, so batch contents are shared out-of-band at zero cost.  This exposes
+hash reversal as the ~20k el/s bottleneck of the full algorithm.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..config import HASH_BATCH_SIZE, SetchainConfig
+from ..crypto.hashing import hash_batch
+from ..crypto.keys import KeyPair
+from ..crypto.signatures import SignatureScheme
+from ..errors import SetchainError
+from ..ledger.types import Block, Transaction
+from ..net.message import Message
+from ..sim.process import Timer
+from ..sim.scheduler import Simulator
+from ..workload.elements import Element
+from .base import BaseSetchainServer
+from .batch_store import BatchStore
+from .collector import Collector
+from .types import HashBatch, hash_batch_payload
+from .validation import batch_matches_hash, split_batch, valid_element, valid_hash_batch
+
+#: Wire size of a Request_batch query (a hash plus framing).
+_REQUEST_SIZE = 80
+
+
+class HashchainServer(BaseSetchainServer):
+    """One Hashchain Setchain server."""
+
+    algorithm = "hashchain"
+
+    def __init__(self, name: str, sim: Simulator, config: SetchainConfig,
+                 scheme: SignatureScheme, keypair: KeyPair, metrics=None,
+                 light: bool = False, shared_store: BatchStore | None = None) -> None:
+        super().__init__(name, sim, config, scheme, keypair, metrics)
+        #: Light mode: no hash-reversal service, no validation cost, contents
+        #: shared through ``shared_store`` (all servers assumed correct).
+        self.light = light
+        self.shared_store = shared_store
+        if light and shared_store is None:
+            raise SetchainError("light mode requires a shared batch store")
+        self.collector = Collector(sim, config.collector_limit,
+                                   config.collector_timeout, self._flush_batch)
+        self.store = BatchStore()
+        #: hash → set of signers observed in the ledger (``hash_to_signers``).
+        self.hash_to_signers: dict[str, set[str]] = {}
+        #: Hashes whose batch this server has signed and appended already.
+        self._signed_hashes: set[str] = set()
+        #: Hashes already consolidated into an epoch.
+        self._consolidated: set[str] = set()
+        # In-flight Request_batch state: only one at a time because block
+        # processing is serial (the paper's implementation blocks inside
+        # FinalizeBlock the same way).
+        self._pending: tuple[Block, Transaction, HashBatch] | None = None
+        self._request_timer = Timer(sim, self._on_request_timeout)
+        #: Counters for the hash-reversal analysis.
+        self.batch_requests_sent = 0
+        self.batch_requests_failed = 0
+        self.hash_batches_appended = 0
+        self.on("request_batch", self._on_request_batch)
+        self.on("batch_response", self._on_batch_response)
+
+    # -- add path -------------------------------------------------------------------
+
+    def _after_add(self, element: Element) -> None:
+        # §3 Hashchain line 5: add_to_batch(e).
+        self.collector.add(element)
+
+    def add_to_batch(self, item: object) -> None:
+        """``add_to_batch``: used for both elements and this server's epoch-proofs."""
+        self.collector.add(item)
+
+    # -- collector flush (lines 12-21) --------------------------------------------------
+
+    def _flush_batch(self, batch: Sequence[object]) -> None:
+        items = tuple(batch)
+        digest = hash_batch(items)
+        # Lines 15-16: remember and register the batch so peers can request it.
+        self.store.register_local(digest, items)
+        if self.shared_store is not None:
+            self.shared_store.register_remote(digest, items)
+        # Lines 17-19: sign the hash and append the hash-batch to the ledger.
+        signature = self.scheme.sign(self.keypair, hash_batch_payload(digest))
+        hb = HashBatch(batch_hash=digest, signature=signature, signer=self.name)
+        self._signed_hashes.add(digest)
+        tx = self._append_to_ledger(hb, HASH_BATCH_SIZE)
+        self.hash_batches_appended += 1
+        if self.metrics is not None:
+            element_ids = [item.element_id for item in items if isinstance(item, Element)]
+            self.metrics.record_tx_elements(tx.tx_id, element_ids)
+            self.metrics.record_batch_hash_elements(digest, element_ids)
+            self.metrics.record_batch_flush(self.name, len(items), HASH_BATCH_SIZE,
+                                            self.sim.now)
+
+    # -- hash-reversal service (Register_batch / Request_batch) --------------------------
+
+    def _on_request_batch(self, message: Message) -> None:
+        """Serve a peer's Request_batch from the local store."""
+        requested_hash: str = message.payload
+        items = self.store.serve(requested_hash)
+        size = sum(getattr(item, "size_bytes", 0) for item in items) if items else _REQUEST_SIZE
+        self.send(message.sender, "batch_response", (requested_hash, items),
+                  size_bytes=size)
+
+    def _on_batch_response(self, message: Message) -> None:
+        """Handle the reply to our in-flight Request_batch (if still relevant)."""
+        responded_hash, items = message.payload
+        if items is not None:
+            # Opportunistically keep any batch we learn about.
+            if batch_matches_hash(items, responded_hash):
+                self.store.register_remote(responded_hash, tuple(items))
+        pending = self._pending
+        if pending is None:
+            return
+        block, tx, hb = pending
+        if hb.batch_hash != responded_hash:
+            return
+        self._request_timer.cancel()
+        self._pending = None
+        if items is None or not batch_matches_hash(items, responded_hash):
+            # Lines 28-29: unrecoverable (or forged) batch — skip this hash-batch.
+            self.batch_requests_failed += 1
+            if self.metrics is not None:
+                self.metrics.record_hash_reversal(self.name, hb.batch_hash, False,
+                                                  self.sim.now)
+            self._finish_after(self.config.tx_processing_overhead)
+            return
+        if self.metrics is not None:
+            self.metrics.record_hash_reversal(self.name, hb.batch_hash, True, self.sim.now)
+        # Lines 30-34: register the recovered batch, sign the hash ourselves,
+        # and append our own hash-batch to the ledger.
+        items = tuple(items)
+        self.store.register_remote(hb.batch_hash, items)
+        self._append_own_hash_batch(hb.batch_hash)
+        cost = (self.config.tx_processing_overhead
+                + len(items) * self.config.element_validation_time)
+        self._consume_batch(block, hb, items, cost)
+
+    def _on_request_timeout(self) -> None:
+        """The signer never answered (it may be Byzantine): skip the hash-batch."""
+        pending = self._pending
+        if pending is None:
+            return
+        _block, _tx, hb = pending
+        self._pending = None
+        self.batch_requests_failed += 1
+        if self.metrics is not None:
+            self.metrics.record_hash_reversal(self.name, hb.batch_hash, False, self.sim.now)
+        self._finish_after(self.config.tx_processing_overhead)
+
+    def _append_own_hash_batch(self, digest: str) -> None:
+        if digest in self._signed_hashes:
+            return
+        signature = self.scheme.sign(self.keypair, hash_batch_payload(digest))
+        hb = HashBatch(batch_hash=digest, signature=signature, signer=self.name)
+        self._signed_hashes.add(digest)
+        self._append_to_ledger(hb, HASH_BATCH_SIZE)
+        self.hash_batches_appended += 1
+
+    # -- block processing (lines 22-45) ----------------------------------------------------
+
+    def _handle_tx(self, block: Block, tx: Transaction) -> None:
+        payload = tx.payload
+        overhead = self.config.tx_processing_overhead
+        if not isinstance(payload, HashBatch):
+            self._finish_after(overhead)
+            return
+        # Line 24: validate the hash-batch signature (skipped in light mode,
+        # mirroring the paper's "without validation of hash-batches" ablation).
+        if not self.light and not valid_hash_batch(payload, self.scheme):
+            self._finish_after(overhead)
+            return
+        if self.metrics is not None:
+            self.metrics.record_in_ledger_by_hash(payload.batch_hash, self.sim.now)
+        items = self.store.get(payload.batch_hash)
+        if items is None and self.shared_store is not None:
+            items = self.shared_store.get(payload.batch_hash)
+            if items is not None:
+                self.store.register_remote(payload.batch_hash, items)
+        if items is not None:
+            # We already hold the contents (our own batch, a batch recovered
+            # earlier, or — in light mode — a batch shared out-of-band): no
+            # hash reversal and no re-validation cost, but we still co-sign the
+            # hash so it can gather its f+1 hash-batches in the ledger.
+            self._append_own_hash_batch(payload.batch_hash)
+            self._consume_batch(block, payload, items, overhead)
+            return
+        if self.light:
+            # Light mode assumes contents are always available; a missing batch
+            # can only mean the origin crashed, so skip.
+            self._finish_after(overhead)
+            return
+        # Lines 26-27: h is new — request the batch from the hash-batch's signer.
+        if payload.signer == self.name:
+            # We signed it but no longer have it (should not happen for correct
+            # servers); treat as unrecoverable.
+            self._finish_after(overhead)
+            return
+        self._pending = (block, tx, payload)
+        self.batch_requests_sent += 1
+        self.send(payload.signer, "request_batch", payload.batch_hash,
+                  size_bytes=_REQUEST_SIZE)
+        self._request_timer.start(self.config.batch_request_timeout)
+        # _finish_after will be called by the response / timeout handler.
+
+    def _consume_batch(self, block: Block, hb: HashBatch, items: tuple[object, ...],
+                       duration: float) -> None:
+        """Lines 35-45: absorb proofs, update the_set, track signers, maybe consolidate."""
+        elements, proofs = split_batch(items)
+        self._absorb_proofs(proofs)
+        for element in elements:
+            if valid_element(element) and not self._known_in_history(element):
+                self._add_to_the_set(element)
+        signers = self.hash_to_signers.setdefault(hb.batch_hash, set())
+        signers.add(hb.signer)
+        if (len(signers) >= self.config.quorum
+                and hb.batch_hash not in self._consolidated):
+            self._consolidated.add(hb.batch_hash)
+            # Line 42: recompute G at consolidation time.
+            new_epoch: dict[int, Element] = {}
+            for element in elements:
+                if valid_element(element) and not self._known_in_history(element):
+                    new_epoch[element.element_id] = element
+            if new_epoch:
+                proof = self._record_new_epoch(set(new_epoch.values()), block)
+                self.add_to_batch(proof)
+        self._finish_after(duration)

@@ -1,0 +1,71 @@
+"""Algorithm Vanilla (paper Appendix B).
+
+Every added element is appended to the ledger as its own transaction.  When a
+block is notified, the valid epoch-proofs it carries are absorbed, the valid
+not-yet-epoched elements form a new epoch, and the server appends its
+epoch-proof for that epoch back to the ledger.  Throughput and latency are
+therefore those of the underlying ledger — Vanilla is the correctness
+baseline the other two algorithms improve on.
+"""
+
+from __future__ import annotations
+
+from ..config import EPOCH_PROOF_SIZE, SetchainConfig
+from ..crypto.keys import KeyPair
+from ..crypto.signatures import SignatureScheme
+from ..ledger.types import Block, Transaction
+from ..sim.scheduler import Simulator
+from ..workload.elements import Element
+from .base import BaseSetchainServer
+from .types import EpochProof
+from .validation import valid_element
+
+
+class VanillaServer(BaseSetchainServer):
+    """One Vanilla Setchain server."""
+
+    algorithm = "vanilla"
+
+    def __init__(self, name: str, sim: Simulator, config: SetchainConfig,
+                 scheme: SignatureScheme, keypair: KeyPair, metrics=None) -> None:
+        super().__init__(name, sim, config, scheme, keypair, metrics)
+        #: Valid elements of the block currently being processed (the epoch
+        #: candidate set G of Appendix B, line 13).
+        self._block_elements: dict[int, Element] = {}
+
+    # -- add path -----------------------------------------------------------------
+
+    def _after_add(self, element: Element) -> None:
+        # Appendix B line 6: L.append(e) — one ledger transaction per element.
+        tx = self._append_to_ledger(element, element.size_bytes)
+        if self.metrics is not None:
+            self.metrics.record_tx_elements(tx.tx_id, [element.element_id])
+
+    # -- block processing -----------------------------------------------------------
+
+    def _handle_tx(self, block: Block, tx: Transaction) -> None:
+        payload = tx.payload
+        duration = self.config.tx_processing_overhead
+        if isinstance(payload, EpochProof):
+            # Appendix B lines 11-12: absorb valid epoch-proofs.
+            self._absorb_proofs([payload])
+        elif isinstance(payload, Element):
+            duration += self.config.element_validation_time
+            if (valid_element(payload) and not self._known_in_history(payload)
+                    and payload.element_id not in self._block_elements):
+                self._block_elements[payload.element_id] = payload
+                if self.metrics is not None:
+                    self.metrics.record_in_ledger(payload.element_id, self.sim.now)
+        # Anything else (a Byzantine server appended garbage) is simply skipped.
+        self._finish_after(duration)
+
+    def _handle_block_end(self, block: Block) -> None:
+        # Appendix B lines 13-18: the block's valid new elements become an epoch.
+        if not self._block_elements:
+            return
+        new_epoch = set(self._block_elements.values())
+        self._block_elements = {}
+        for element in new_epoch:
+            self._add_to_the_set(element)
+        proof = self._record_new_epoch(new_epoch, block)
+        self._append_to_ledger(proof, EPOCH_PROOF_SIZE)

@@ -1,0 +1,166 @@
+"""Pure-Python Ed25519 (RFC 8032) — no external dependencies.
+
+This is a straightforward, readable implementation of the EdDSA signature
+scheme over edwards25519 following RFC 8032 §5.1.  It is *not* constant-time
+and therefore not suitable for protecting real secrets; in this reproduction
+it exists so the signature code path (key generation, signing, verification,
+64-byte signatures) matches the paper's ed25519 usage exactly.  Large
+benchmark runs use the faster ``SimulatedScheme`` instead (see
+:mod:`repro.crypto.signatures`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+__all__ = ["generate_public_key", "sign", "verify", "SECRET_KEY_SIZE",
+           "PUBLIC_KEY_SIZE", "SIGNATURE_SIZE"]
+
+SECRET_KEY_SIZE = 32
+PUBLIC_KEY_SIZE = 32
+SIGNATURE_SIZE = 64
+
+# Curve constants for edwards25519 (RFC 8032 §5.1).
+_p = 2**255 - 19
+_q = 2**252 + 27742317777372353535851937790883648493  # group order
+_d = -121665 * pow(121666, _p - 2, _p) % _p
+
+
+def _sha512(data: bytes) -> bytes:
+    return hashlib.sha512(data).digest()
+
+
+def _inv(x: int) -> int:
+    return pow(x, _p - 2, _p)
+
+
+# Points are represented in extended homogeneous coordinates (X, Y, Z, T)
+# with x = X/Z, y = Y/Z, x*y = T/Z.
+_Point = tuple[int, int, int, int]
+
+
+def _point_add(P: _Point, Q: _Point) -> _Point:
+    X1, Y1, Z1, T1 = P
+    X2, Y2, Z2, T2 = Q
+    A = (Y1 - X1) * (Y2 - X2) % _p
+    B = (Y1 + X1) * (Y2 + X2) % _p
+    C = 2 * T1 * T2 * _d % _p
+    D = 2 * Z1 * Z2 % _p
+    E = B - A
+    F = D - C
+    G = D + C
+    H = B + A
+    return (E * F % _p, G * H % _p, F * G % _p, E * H % _p)
+
+
+def _point_mul(s: int, P: _Point) -> _Point:
+    Q: _Point = (0, 1, 1, 0)  # identity
+    while s > 0:
+        if s & 1:
+            Q = _point_add(Q, P)
+        P = _point_add(P, P)
+        s >>= 1
+    return Q
+
+
+def _point_equal(P: _Point, Q: _Point) -> bool:
+    # x1/z1 == x2/z2  and  y1/z1 == y2/z2
+    if (P[0] * Q[2] - Q[0] * P[2]) % _p != 0:
+        return False
+    if (P[1] * Q[2] - Q[1] * P[2]) % _p != 0:
+        return False
+    return True
+
+
+# Base point.
+_g_y = 4 * _inv(5) % _p
+
+
+def _recover_x(y: int, sign: int) -> int | None:
+    if y >= _p:
+        return None
+    x2 = (y * y - 1) * _inv(_d * y * y + 1) % _p
+    if x2 == 0:
+        if sign:
+            return None
+        return 0
+    # Square root of x2 mod p (p = 5 mod 8).
+    x = pow(x2, (_p + 3) // 8, _p)
+    if (x * x - x2) % _p != 0:
+        x = x * pow(2, (_p - 1) // 4, _p) % _p
+    if (x * x - x2) % _p != 0:
+        return None
+    if (x & 1) != sign:
+        x = _p - x
+    return x
+
+
+_g_x = _recover_x(_g_y, 0)
+assert _g_x is not None
+_G: _Point = (_g_x, _g_y, 1, _g_x * _g_y % _p)
+
+
+def _point_compress(P: _Point) -> bytes:
+    zinv = _inv(P[2])
+    x = P[0] * zinv % _p
+    y = P[1] * zinv % _p
+    return int.to_bytes(y | ((x & 1) << 255), 32, "little")
+
+
+def _point_decompress(s: bytes) -> _Point | None:
+    if len(s) != 32:
+        return None
+    y = int.from_bytes(s, "little")
+    sign = y >> 255
+    y &= (1 << 255) - 1
+    x = _recover_x(y, sign)
+    if x is None:
+        return None
+    return (x, y, 1, x * y % _p)
+
+
+def _secret_expand(secret: bytes) -> tuple[int, bytes]:
+    if len(secret) != SECRET_KEY_SIZE:
+        raise ValueError("bad secret key size")
+    h = _sha512(secret)
+    a = int.from_bytes(h[:32], "little")
+    a &= (1 << 254) - 8
+    a |= 1 << 254
+    return a, h[32:]
+
+
+def generate_public_key(secret: bytes) -> bytes:
+    """Derive the 32-byte public key from a 32-byte secret seed."""
+    a, _prefix = _secret_expand(secret)
+    return _point_compress(_point_mul(a, _G))
+
+
+def sign(secret: bytes, message: bytes) -> bytes:
+    """Produce a 64-byte Ed25519 signature of ``message`` under ``secret``."""
+    a, prefix = _secret_expand(secret)
+    A = _point_compress(_point_mul(a, _G))
+    r = int.from_bytes(_sha512(prefix + message), "little") % _q
+    R = _point_compress(_point_mul(r, _G))
+    h = int.from_bytes(_sha512(R + A + message), "little") % _q
+    s = (r + h * a) % _q
+    return R + int.to_bytes(s, 32, "little")
+
+
+def verify(public: bytes, message: bytes, signature: bytes) -> bool:
+    """Check a 64-byte signature against a 32-byte public key.  Never raises."""
+    if len(public) != PUBLIC_KEY_SIZE or len(signature) != SIGNATURE_SIZE:
+        return False
+    A = _point_decompress(public)
+    if A is None:
+        return False
+    Rs = signature[:32]
+    R = _point_decompress(Rs)
+    if R is None:
+        return False
+    s = int.from_bytes(signature[32:], "little")
+    if s >= _q:
+        return False
+    h = int.from_bytes(_sha512(Rs + public + message), "little") % _q
+    sB = _point_mul(s, _G)
+    hA = _point_mul(h, A)
+    return _point_equal(sB, _point_add(R, hA))

@@ -1,0 +1,70 @@
+"""Canonical hashing used throughout the Setchain algorithms.
+
+The paper hashes (i) batches of elements, to form Hashchain hash-batches, and
+(ii) ``(epoch_number, epoch_elements)`` pairs, to form epoch-proofs
+(``p_v(i) = Sign_v(Hash(i, history[i]))``).  Epochs are *sets*, so the hash
+must not depend on the order servers happened to receive elements; we sort the
+canonical encodings before hashing, which also matches the paper's observation
+(Appendix G) that implementations impose a deterministic internal order.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable
+
+
+def sha512_hex(data: bytes) -> str:
+    """Hex-encoded SHA-512 of ``data`` (the paper's hash function, FIPS 180-4)."""
+    return hashlib.sha512(data).hexdigest()
+
+
+def hash_bytes(data: bytes) -> bytes:
+    """Raw SHA-512 digest of ``data``."""
+    return hashlib.sha512(data).digest()
+
+
+def _canonical_item(item: object) -> bytes:
+    """Stable byte encoding of a batch/epoch item.
+
+    Supports the payload types that flow through the algorithms: bytes,
+    strings, and objects exposing ``canonical_bytes()`` (elements and
+    epoch-proofs).
+    """
+    canonical = getattr(item, "canonical_bytes", None)
+    if callable(canonical):
+        return canonical()
+    if isinstance(item, bytes):
+        return item
+    if isinstance(item, str):
+        return item.encode()
+    return repr(item).encode()
+
+
+def canonical_bytes_of(item: object) -> bytes:
+    """Public alias of the canonical item encoding (used by compressors too)."""
+    return _canonical_item(item)
+
+
+def hash_batch(items: Iterable[object]) -> str:
+    """Order-independent SHA-512 hash of a batch of items."""
+    encoded = sorted(_canonical_item(item) for item in items)
+    hasher = hashlib.sha512()
+    hasher.update(len(encoded).to_bytes(8, "big"))
+    for blob in encoded:
+        hasher.update(len(blob).to_bytes(8, "big"))
+        hasher.update(blob)
+    return hasher.hexdigest()
+
+
+def hash_epoch(epoch_number: int, elements: Iterable[object]) -> str:
+    """SHA-512 hash of ``(epoch_number, elements)`` — the value epoch-proofs sign."""
+    encoded = sorted(_canonical_item(item) for item in elements)
+    hasher = hashlib.sha512()
+    hasher.update(b"epoch:")
+    hasher.update(int(epoch_number).to_bytes(8, "big"))
+    hasher.update(len(encoded).to_bytes(8, "big"))
+    for blob in encoded:
+        hasher.update(len(blob).to_bytes(8, "big"))
+        hasher.update(blob)
+    return hasher.hexdigest()

@@ -1,0 +1,128 @@
+"""Signature schemes behind a common interface.
+
+Two backends:
+
+* :class:`Ed25519Scheme` — the real EdDSA code path (RFC 8032, pure Python).
+  Used by default in unit tests and small runs; matches the paper exactly.
+* :class:`SimulatedScheme` — an HMAC-SHA512-based stand-in that produces
+  64-byte tags verified through the PKI.  It preserves the *interface* and the
+  unforgeability assumption of the model (a process that does not hold the
+  owner's secret cannot produce a tag that verifies for that owner), while
+  being ~1000x faster, which matters for benchmark runs that sign hundreds of
+  thousands of batches.  This substitution is recorded in DESIGN.md §2.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from abc import ABC, abstractmethod
+
+from ..errors import ConfigurationError, CryptoError
+from . import ed25519
+from .keys import KeyPair, PublicKeyInfrastructure, derive_secret_seed
+
+
+class SignatureScheme(ABC):
+    """Sign/verify interface shared by all backends.
+
+    Messages are strings (hex digests, canonical encodings); the scheme is
+    responsible for encoding.  ``verify`` resolves the signer's public key via
+    the PKI by the *claimed* owner id.
+    """
+
+    #: Length of a signature produced by this scheme, in bytes.
+    signature_size: int = 64
+
+    def __init__(self, pki: PublicKeyInfrastructure) -> None:
+        self.pki = pki
+
+    @abstractmethod
+    def generate_keypair(self, owner: str, deployment_seed: int = 0) -> KeyPair:
+        """Create (and register with the PKI) a key pair for ``owner``."""
+
+    @abstractmethod
+    def sign(self, keypair: KeyPair, message: str) -> bytes:
+        """Sign ``message`` with the private half of ``keypair``."""
+
+    @abstractmethod
+    def verify(self, owner: str, message: str, signature: bytes) -> bool:
+        """True iff ``signature`` over ``message`` verifies for ``owner``'s registered key."""
+
+
+class Ed25519Scheme(SignatureScheme):
+    """RFC 8032 Ed25519 signatures (pure Python, see :mod:`repro.crypto.ed25519`)."""
+
+    def generate_keypair(self, owner: str, deployment_seed: int = 0) -> KeyPair:
+        secret = derive_secret_seed(owner, deployment_seed)
+        public = ed25519.generate_public_key(secret)
+        keypair = KeyPair(owner=owner, secret=secret, public=public)
+        self.pki.register(owner, public)
+        return keypair
+
+    def sign(self, keypair: KeyPair, message: str) -> bytes:
+        return ed25519.sign(keypair.secret, message.encode())
+
+    def verify(self, owner: str, message: str, signature: bytes) -> bool:
+        try:
+            public = self.pki.public_key_of(owner)
+        except CryptoError:
+            return False
+        return ed25519.verify(public, message.encode(), signature)
+
+
+class SimulatedScheme(SignatureScheme):
+    """Fast HMAC-based signatures for large simulation runs.
+
+    The "public key" is a commitment ``SHA512(owner || secret)``; a signature
+    is ``HMAC-SHA512(secret, owner || message)``.  Verification recomputes the
+    tag from the owner's secret, which the verifier obtains through a trusted
+    side table held by the scheme itself.  In a real deployment this would be
+    unacceptable; in the simulation every scheme instance is shared
+    infrastructure and Byzantine components are modelled at the behaviour
+    level (they simply never get handed other owners' KeyPair objects), so the
+    unforgeability assumption of the system model is preserved.
+    """
+
+    def __init__(self, pki: PublicKeyInfrastructure) -> None:
+        super().__init__(pki)
+        self._secrets: dict[str, bytes] = {}
+
+    def generate_keypair(self, owner: str, deployment_seed: int = 0) -> KeyPair:
+        secret = derive_secret_seed(owner, deployment_seed)
+        public = hashlib.sha512(owner.encode() + secret).digest()[:32]
+        keypair = KeyPair(owner=owner, secret=secret, public=public)
+        self.pki.register(owner, public)
+        self._secrets[owner] = secret
+        return keypair
+
+    def sign(self, keypair: KeyPair, message: str) -> bytes:
+        return hmac.new(keypair.secret, keypair.owner.encode() + b"|" + message.encode(),
+                        hashlib.sha512).digest()[:64]
+
+    def verify(self, owner: str, message: str, signature: bytes) -> bool:
+        if not self.pki.knows(owner):
+            return False
+        secret = self._secrets.get(owner)
+        if secret is None:
+            return False
+        expected = hmac.new(secret, owner.encode() + b"|" + message.encode(),
+                            hashlib.sha512).digest()[:64]
+        return hmac.compare_digest(expected, signature)
+
+
+_SCHEMES = {
+    "ed25519": Ed25519Scheme,
+    "simulated": SimulatedScheme,
+}
+
+
+def make_scheme(name: str, pki: PublicKeyInfrastructure | None = None) -> SignatureScheme:
+    """Factory: build a signature scheme by configuration name."""
+    try:
+        cls = _SCHEMES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown signature scheme {name!r}; expected one of {sorted(_SCHEMES)}"
+        ) from None
+    return cls(pki if pki is not None else PublicKeyInfrastructure())

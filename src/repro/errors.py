@@ -1,0 +1,68 @@
+"""Exception hierarchy shared across the Setchain reproduction.
+
+Every subsystem raises subclasses of :class:`ReproError` so callers can catch
+library failures without also swallowing programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration value is out of range or inconsistent with another."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator was used incorrectly (e.g. time going backwards)."""
+
+
+class NetworkError(ReproError):
+    """A network-level failure: unknown destination, closed channel, oversized message."""
+
+
+class CryptoError(ReproError):
+    """Signature/verification failure or malformed key material."""
+
+
+class InvalidSignatureError(CryptoError):
+    """A signature did not verify against the claimed signer's public key."""
+
+
+class LedgerError(ReproError):
+    """Block-based ledger misuse: invalid transaction, unknown subscriber, etc."""
+
+
+class MempoolFullError(LedgerError):
+    """The mempool rejected a transaction because a count or byte cap was reached."""
+
+
+class ConsensusError(LedgerError):
+    """The BFT consensus engine reached an inconsistent state."""
+
+
+class SetchainError(ReproError):
+    """Setchain-level protocol violation (invalid element, duplicate add, bad proof)."""
+
+
+class InvalidElementError(SetchainError):
+    """An element failed ``valid_element`` validation."""
+
+
+class DuplicateElementError(SetchainError):
+    """An element was added twice to the same server."""
+
+
+class BatchUnavailableError(SetchainError):
+    """Hashchain could not recover the batch behind a hash (hash-reversal failed)."""
+
+
+class PropertyViolation(ReproError):
+    """One of the Setchain correctness properties (1-8) was observed to fail."""
+
+    def __init__(self, property_name: str, detail: str) -> None:
+        super().__init__(f"{property_name}: {detail}")
+        self.property_name = property_name
+        self.detail = detail

@@ -1,0 +1,131 @@
+"""Running scenarios, including the documented down-scaling.
+
+The paper's full rates (up to 150,000 el/s for 50 s) are impractical for a
+pure-Python discrete-event simulation, so the runner supports a *scale factor*
+``s`` that divides the sending rate and the ledger block size by ``s`` while
+multiplying the per-element processing costs and the collector timeout by
+``s``.  This keeps every dimensionless ratio that determines the results —
+offered load over analytical capacity, hash-reversal ceiling over offered
+load, collector fill time versus flush timeout — unchanged, so orderings,
+saturation behaviour and efficiency shapes match the unscaled system while
+absolute el/s values are lower by ``s`` (recorded per run in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..analysis.analytical import AnalyticalParameters, throughput_for
+from ..analysis.committime import CommitTimeSummary, commit_time_quantiles
+from ..analysis.efficiency import EfficiencyResult, efficiency_profile
+from ..analysis.latency import LatencyCDF, stage_latencies
+from ..analysis.metrics import MetricsCollector
+from ..analysis.throughput import ThroughputSeries, average_throughput, rolling_throughput
+from ..config import ExperimentConfig, PAPER_COMPRESSION_RATIO
+from ..core.deployment import Deployment, run_experiment
+from ..errors import ConfigurationError
+
+
+def scaled_config(config: ExperimentConfig, scale: float) -> ExperimentConfig:
+    """Scale a paper scenario down by ``scale`` (see module docstring)."""
+    if scale <= 0:
+        raise ConfigurationError("scale must be positive")
+    if scale == 1:
+        return config
+    workload = replace(config.workload,
+                       sending_rate=config.workload.sending_rate / scale)
+    ledger = replace(config.ledger,
+                     block_size_bytes=max(2000, int(config.ledger.block_size_bytes / scale)))
+    setchain = replace(config.setchain,
+                       collector_timeout=config.setchain.collector_timeout * scale,
+                       element_validation_time=config.setchain.element_validation_time * scale,
+                       tx_processing_overhead=config.setchain.tx_processing_overhead * scale)
+    return replace(config, workload=workload, ledger=ledger, setchain=setchain,
+                   label=f"{config.label} (scale 1/{scale:g})")
+
+
+@dataclass
+class ExperimentResult:
+    """Everything the figures/tables need from one run."""
+
+    config: ExperimentConfig
+    scale: float
+    deployment: Deployment
+    metrics: MetricsCollector
+    throughput: ThroughputSeries
+    avg_throughput_50s: float
+    efficiency: EfficiencyResult
+    commit_times: CommitTimeSummary
+    analytical_throughput: float
+
+    @property
+    def label(self) -> str:
+        return self.config.label
+
+    @property
+    def sending_rate(self) -> float:
+        return self.config.workload.sending_rate
+
+    def latency_cdfs(self) -> dict[str, LatencyCDF]:
+        """Stage latency CDFs (mempool stages only for CometBFT-backed runs)."""
+        backend = self.deployment.ledger_backend
+        mempool_arrivals = None
+        nodes = getattr(backend, "nodes", None)
+        if nodes:
+            mempool_arrivals = [node.mempool.arrival_times for node in nodes.values()]
+        return stage_latencies(self.metrics, mempool_arrivals,
+                               quorum=self.config.setchain.quorum)
+
+    def summary_row(self) -> list[object]:
+        """One row for the report tables."""
+        return [self.config.algorithm, f"{self.sending_rate:g}",
+                self.config.setchain.collector_limit,
+                round(self.avg_throughput_50s, 1),
+                round(self.efficiency.at_50, 3),
+                round(self.efficiency.at_100, 3)]
+
+
+def analytical_reference(config: ExperimentConfig) -> float:
+    """The Appendix-D throughput bound for a (possibly scaled) configuration."""
+    collector = config.setchain.collector_limit
+    ratio = PAPER_COMPRESSION_RATIO.get(collector)
+    if ratio is None:
+        ratio = PAPER_COMPRESSION_RATIO[100] if collector < 300 else PAPER_COMPRESSION_RATIO[500]
+    params = AnalyticalParameters(
+        n_servers=config.setchain.n_servers,
+        block_size_bytes=config.ledger.block_size_bytes,
+        block_rate=config.ledger.block_rate,
+        element_size=config.workload.element_size_mean,
+        collector_size=max(collector, config.setchain.n_servers + 1),
+        compression_ratio=ratio,
+    )
+    return throughput_for(config.algorithm, params)
+
+
+def run_scenario(config: ExperimentConfig, scale: float = 1.0,
+                 to_completion: bool = False, horizon: float | None = None,
+                 seed: int | None = None) -> ExperimentResult:
+    """Run one scenario (optionally scaled) and package the standard analyses."""
+    effective = scaled_config(config, scale)
+    deployment = run_experiment(effective, seed=seed, to_completion=to_completion)
+    if horizon is not None and deployment.sim.now < horizon:
+        deployment.run(until=horizon)
+    metrics = deployment.metrics
+    commit_times = metrics.commit_times()
+    throughput = rolling_throughput(commit_times,
+                                    horizon=deployment.sim.now)
+    result = ExperimentResult(
+        config=effective,
+        scale=scale,
+        deployment=deployment,
+        metrics=metrics,
+        throughput=throughput,
+        avg_throughput_50s=average_throughput(commit_times, up_to=50.0),
+        efficiency=efficiency_profile(metrics, label=effective.label,
+                                      total_added=len(deployment.injected_elements)),
+        commit_times=commit_time_quantiles(metrics,
+                                           total_added=len(deployment.injected_elements),
+                                           label=effective.label),
+        analytical_throughput=analytical_reference(effective),
+    )
+    return result

@@ -1,0 +1,122 @@
+"""Named scenarios matching the paper's evaluation section."""
+
+from __future__ import annotations
+
+from ..config import (
+    ExperimentConfig,
+    TABLE1_COLLECTOR_LIMITS,
+    TABLE1_NETWORK_DELAYS_MS,
+    TABLE1_SENDING_RATES,
+    TABLE1_SERVER_COUNTS,
+    base_scenario,
+)
+
+
+def figure1_scenarios() -> dict[str, list[ExperimentConfig]]:
+    """Fig. 1: throughput over time, 10 servers, no delay.
+
+    * left   — sending rate 5,000 el/s, collector 100, all three algorithms;
+    * center — sending rate 10,000 el/s, collector 100, Compresschain & Hashchain;
+    * right  — sending rate 10,000 el/s, collector 500, Compresschain & Hashchain.
+    """
+    def configs(rate: float, collector: int, algorithms: list[str]) -> list[ExperimentConfig]:
+        return [base_scenario(a, sending_rate=rate, collector_limit=collector,
+                              n_servers=10, network_delay_ms=0,
+                              label=f"fig1 {a} rate={rate:g} c={collector}")
+                for a in algorithms]
+
+    return {
+        "left": configs(5_000, 100, ["vanilla", "compresschain", "hashchain"]),
+        "center": configs(10_000, 100, ["compresschain", "hashchain"]),
+        "right": configs(10_000, 500, ["compresschain", "hashchain"]),
+    }
+
+
+def figure2_left_scenarios() -> list[ExperimentConfig]:
+    """Fig. 2 left: pushing the limits with collector 500.
+
+    Hashchain with hash-reversal at a sending rate past its ~20k el/s ceiling,
+    Hashchain light (no hash-reversal / validation) at 150k el/s, plus the
+    Compresschain / Compresschain-light / Vanilla saturation points.
+    """
+    return [
+        base_scenario("hashchain", sending_rate=25_000, collector_limit=500,
+                      label="fig2 hashchain (hash-reversal)"),
+        base_scenario("hashchain-light", sending_rate=150_000, collector_limit=500,
+                      label="fig2 hashchain light"),
+        base_scenario("compresschain", sending_rate=10_000, collector_limit=500,
+                      label="fig2 compresschain"),
+        base_scenario("compresschain-light", sending_rate=10_000, collector_limit=500,
+                      label="fig2 compresschain light"),
+        base_scenario("vanilla", sending_rate=5_000,
+                      label="fig2 vanilla"),
+    ]
+
+
+def figure3_base_scenario() -> dict[str, object]:
+    """Fig. 3's base point: 10 servers, 10,000 el/s, no network delay."""
+    return {"n_servers": 10, "sending_rate": 10_000.0, "network_delay_ms": 0.0}
+
+
+def figure3a_grid() -> list[ExperimentConfig]:
+    """Fig. 3a: efficiency vs sending rate for every algorithm/collector combo."""
+    configs: list[ExperimentConfig] = []
+    for rate in sorted(TABLE1_SENDING_RATES):
+        configs.append(base_scenario("vanilla", sending_rate=rate,
+                                     label=f"fig3a vanilla rate={rate}"))
+        for collector in TABLE1_COLLECTOR_LIMITS:
+            for algorithm in ("compresschain", "hashchain"):
+                configs.append(base_scenario(algorithm, sending_rate=rate,
+                                             collector_limit=collector,
+                                             label=f"fig3a {algorithm} c={collector} rate={rate}"))
+    return configs
+
+
+def figure3b_grid() -> list[ExperimentConfig]:
+    """Fig. 3b: efficiency vs number of servers at 10,000 el/s."""
+    configs: list[ExperimentConfig] = []
+    for servers in TABLE1_SERVER_COUNTS:
+        configs.append(base_scenario("vanilla", n_servers=servers,
+                                     label=f"fig3b vanilla n={servers}"))
+        for collector in TABLE1_COLLECTOR_LIMITS:
+            for algorithm in ("compresschain", "hashchain"):
+                configs.append(base_scenario(algorithm, n_servers=servers,
+                                             collector_limit=collector,
+                                             label=f"fig3b {algorithm} c={collector} n={servers}"))
+    return configs
+
+
+def figure3c_grid() -> list[ExperimentConfig]:
+    """Fig. 3c: efficiency vs artificial network delay at 10,000 el/s."""
+    configs: list[ExperimentConfig] = []
+    for delay in TABLE1_NETWORK_DELAYS_MS:
+        configs.append(base_scenario("vanilla", network_delay_ms=delay,
+                                     label=f"fig3c vanilla delay={delay}ms"))
+        for collector in TABLE1_COLLECTOR_LIMITS:
+            for algorithm in ("compresschain", "hashchain"):
+                configs.append(base_scenario(algorithm, network_delay_ms=delay,
+                                             collector_limit=collector,
+                                             label=f"fig3c {algorithm} c={collector} delay={delay}ms"))
+    return configs
+
+
+def figure4_scenarios() -> list[ExperimentConfig]:
+    """Fig. 4: latency CDFs, 10 servers, 1,250 el/s, collector 100, no delay."""
+    return [base_scenario(algorithm, sending_rate=1_250, collector_limit=100,
+                          label=f"fig4 {algorithm}")
+            for algorithm in ("vanilla", "compresschain", "hashchain")]
+
+
+def figure5_grids() -> dict[str, list[ExperimentConfig]]:
+    """Fig. 5 uses the same grids as Fig. 3 (commit-time quantiles instead of efficiency)."""
+    return {"rate": figure3a_grid(), "servers": figure3b_grid(), "delay": figure3c_grid()}
+
+
+def table1_parameters() -> dict[str, tuple]:
+    """Table 1 verbatim."""
+    return {
+        "sending_rate (el/s)": TABLE1_SENDING_RATES,
+        "collector_limit (el)": TABLE1_COLLECTOR_LIMITS,
+        "server_count": TABLE1_SERVER_COUNTS,
+        "network_delay (ms)": TABLE1_NETWORK_DELAYS_MS,
+    }

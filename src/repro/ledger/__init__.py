@@ -1,0 +1,37 @@
+"""Block-based ledger substrate.
+
+The Setchain algorithms only require the abstract block-based ledger of paper
+§2: ``append(tx)`` plus a ``new_block(B)`` notification satisfying
+
+* Property 9  (Ledger-Add-Eventual-Notify),
+* Property 10 (Ledger-Consistent-Notification),
+* Property 11 (Notification-Implies-Append).
+
+Two implementations are provided:
+
+* :class:`~repro.ledger.ideal.IdealLedger` — a centralized sequencer with the
+  same block-interval / block-size behaviour but no consensus messages.  Used
+  by unit tests and fast parameter sweeps.
+* :mod:`repro.ledger.cometbft` — a Tendermint-style BFT replication engine
+  (mempool + gossip, proposer rotation, prevote/precommit quorums) standing in
+  for CometBFT v0.38.
+"""
+
+from .types import Transaction, Block, new_transaction
+from .abci import Application, LedgerInterface
+from .mempool import Mempool
+from .ideal import IdealLedger, IdealLedgerHandle
+from .cometbft import CometBFTNode, CometBFTNetwork
+
+__all__ = [
+    "Transaction",
+    "Block",
+    "new_transaction",
+    "Application",
+    "LedgerInterface",
+    "Mempool",
+    "IdealLedger",
+    "IdealLedgerHandle",
+    "CometBFTNode",
+    "CometBFTNetwork",
+]

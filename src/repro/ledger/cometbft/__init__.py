@@ -1,0 +1,29 @@
+"""CometBFT-style BFT replication engine (simulated).
+
+This package stands in for CometBFT v0.38 (see DESIGN.md §2).  It reproduces
+the pieces of the Tendermint protocol that determine the Setchain evaluation's
+behaviour:
+
+* a per-node mempool with flood gossip of transactions (``BroadcastTxAsync``),
+* proposer rotation by height,
+* propose → prevote → precommit rounds with 2f+1 quorums (f < n/3),
+* block assembly bounded by the block-size cap,
+* a block interval targeting the paper's ~0.8 blocks/s,
+* ``FinalizeBlock`` delivery of committed blocks to the ABCI application in
+  the same order on every node (Ledger Properties 9-11).
+"""
+
+from .consensus import ConsensusState, Proposal, Vote, VoteType, block_id_for
+from .validator import ValidatorSet
+from .engine import CometBFTNode, CometBFTNetwork
+
+__all__ = [
+    "ConsensusState",
+    "Proposal",
+    "Vote",
+    "VoteType",
+    "block_id_for",
+    "ValidatorSet",
+    "CometBFTNode",
+    "CometBFTNetwork",
+]

@@ -1,0 +1,86 @@
+"""Consensus messages and per-height vote bookkeeping."""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from enum import Enum
+
+from ...errors import ConsensusError
+from ..types import Transaction
+
+
+def block_id_for(height: int, transactions: tuple[Transaction, ...], proposer: str) -> str:
+    """Deterministic identifier of a proposed block (hash of header + tx ids)."""
+    hasher = hashlib.sha256()
+    hasher.update(f"{height}:{proposer}:".encode())
+    for tx in transactions:
+        hasher.update(tx.tx_id.to_bytes(8, "big"))
+    return hasher.hexdigest()
+
+
+@dataclass(frozen=True, slots=True)
+class Proposal:
+    """A block proposal for ``(height, round)`` carrying the full transaction list."""
+
+    height: int
+    round: int
+    proposer: str
+    transactions: tuple[Transaction, ...]
+    block_id: str
+
+    @property
+    def size_bytes(self) -> int:
+        return sum(tx.size_bytes for tx in self.transactions)
+
+
+class VoteType(str, Enum):
+    PREVOTE = "prevote"
+    PRECOMMIT = "precommit"
+
+
+#: Block id used in nil votes (proposal not received before timeout).
+NIL_BLOCK = "<nil>"
+
+
+@dataclass(frozen=True, slots=True)
+class Vote:
+    """A validator's prevote or precommit for a block id (or nil)."""
+
+    height: int
+    round: int
+    voter: str
+    vote_type: VoteType
+    block_id: str
+
+    @property
+    def is_nil(self) -> bool:
+        return self.block_id == NIL_BLOCK
+
+
+@dataclass
+class ConsensusState:
+    """One node's bookkeeping for the height currently being decided."""
+
+    height: int
+    round: int = 0
+    proposal: Proposal | None = None
+    prevoted: bool = False
+    precommitted: bool = False
+    committed: bool = False
+    #: (round, vote_type, block_id) -> set of voter names.
+    votes: dict[tuple[int, VoteType, str], set[str]] = field(default_factory=dict)
+
+    def record_vote(self, vote: Vote) -> int:
+        """Add a vote; returns the updated count for its (round, type, block)."""
+        if vote.height != self.height:
+            raise ConsensusError(
+                f"vote for height {vote.height} recorded against state at height {self.height}"
+            )
+        key = (vote.round, vote.vote_type, vote.block_id)
+        voters = self.votes.setdefault(key, set())
+        voters.add(vote.voter)
+        return len(voters)
+
+    def count(self, round_: int, vote_type: VoteType, block_id: str) -> int:
+        return len(self.votes.get((round_, vote_type, block_id), ()))

@@ -1,0 +1,332 @@
+"""The CometBFT-style node and network.
+
+Each :class:`CometBFTNode` couples a mempool, the consensus state machine, and
+an ABCI application (the Setchain server).  Nodes exchange four message types
+over the simulated network:
+
+* ``tx``        — mempool gossip (``BroadcastTxAsync`` flood, one hop),
+* ``proposal``  — block proposal for a height/round,
+* ``prevote`` / ``precommit`` — Tendermint votes.
+
+A block commits at a node when it holds the proposal and ``2f + 1`` precommits
+for its block id; every correct node then delivers the block to its
+application via ``FinalizeBlock`` in height order, giving the Setchain layer
+Ledger Properties 9-11.
+"""
+
+from __future__ import annotations
+
+from ...config import LedgerConfig
+from ...errors import ConsensusError, MempoolFullError
+from ...net.message import Message
+from ...net.network import Network
+from ...net.node import NetworkNode
+from ...sim.process import Timer
+from ...sim.scheduler import Simulator
+from ..abci import Application, LedgerInterface
+from ..mempool import Mempool
+from ..types import Block, Transaction
+from .consensus import (
+    NIL_BLOCK,
+    ConsensusState,
+    Proposal,
+    Vote,
+    VoteType,
+    block_id_for,
+)
+from .validator import ValidatorSet
+
+#: Approximate wire size of a vote message (bytes).
+_VOTE_SIZE = 100
+#: If the proposer's mempool is empty, it re-checks after this fraction of the
+#: block interval instead of emitting an empty block (create_empty_blocks=false).
+_EMPTY_RETRY_FRACTION = 0.2
+#: Round timeout as a multiple of the block interval before prevoting nil.
+_ROUND_TIMEOUT_FACTOR = 4.0
+
+
+class CometBFTNode(NetworkNode, LedgerInterface):
+    """One validator: mempool + consensus + ABCI hookup."""
+
+    def __init__(self, name: str, sim: Simulator, validators: ValidatorSet,
+                 config: LedgerConfig) -> None:
+        super().__init__(name, sim)
+        if name not in validators:
+            raise ConsensusError(f"{name!r} is not in the validator set")
+        self.validators = validators
+        self.config = config
+        self.mempool = Mempool(config.mempool_max_txs, config.mempool_max_bytes)
+        self.app: Application | None = None
+        self.height = 1
+        self.state = ConsensusState(height=1)
+        self.committed_blocks: list[Block] = []
+        #: Buffered consensus messages for heights we have not reached yet.
+        self._future: dict[int, list[Message]] = {}
+        #: Proposals received for (height, round), kept across round changes.
+        self._round_proposals: dict[tuple[int, int], Proposal] = {}
+        self._round_timer = Timer(sim, self._on_round_timeout)
+        self._propose_timer = Timer(sim, self._maybe_propose)
+        self._last_commit_time = 0.0
+        self._crashed = False
+        #: tx_id -> height at which this node committed the transaction.
+        self.inclusion_height: dict[int, int] = {}
+        self.on("tx", self._on_tx)
+        self.on("proposal", self._on_proposal)
+        self.on("prevote", self._on_vote)
+        self.on("precommit", self._on_vote)
+
+    # -- helpers ----------------------------------------------------------------
+
+    def _broadcast_validators(self, msg_type: str, payload: object,
+                              size_bytes: int = 0) -> None:
+        """Send to every other validator (not to non-validator nodes on the network)."""
+        for peer in self.validators.names:
+            if peer != self.name:
+                self.send(peer, msg_type, payload, size_bytes)
+
+    # -- LedgerInterface -------------------------------------------------------
+
+    def append(self, tx: Transaction) -> None:
+        """``BroadcastTxAsync``: validate, admit to the local mempool, gossip."""
+        if self._crashed:
+            return
+        if self.app is not None and not self.app.check_tx(tx):
+            return
+        try:
+            fresh = self.mempool.add(tx, self.sim.now)
+        except MempoolFullError:
+            return
+        if fresh:
+            self._broadcast_validators("tx", tx, size_bytes=tx.size_bytes)
+
+    def subscribe(self, app: Application) -> None:
+        if self.app is not None:
+            raise ConsensusError(f"node {self.name!r} already has an application")
+        self.app = app
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def start(self) -> None:
+        """Arm the proposal schedule for the first height."""
+        self._schedule_proposal()
+        self._round_timer.start(self.config.block_interval * _ROUND_TIMEOUT_FACTOR)
+
+    def crash(self) -> None:
+        """Crash-fault: stop participating entirely (no messages in or out)."""
+        self._crashed = True
+        self._round_timer.cancel()
+        self._propose_timer.cancel()
+
+    @property
+    def crashed(self) -> bool:
+        return self._crashed
+
+    def deliver(self, message: Message) -> None:  # crash faults swallow traffic
+        if self._crashed:
+            return
+        super().deliver(message)
+
+    # -- mempool gossip ----------------------------------------------------------
+
+    def _on_tx(self, message: Message) -> None:
+        tx: Transaction = message.payload
+        if tx.tx_id in self.inclusion_height:
+            return
+        try:
+            self.mempool.add(tx, self.sim.now)
+        except MempoolFullError:
+            pass
+
+    # -- proposing ----------------------------------------------------------------
+
+    def _is_proposer(self, height: int, round_: int) -> bool:
+        return self.validators.proposer(height, round_) == self.name
+
+    def _schedule_proposal(self) -> None:
+        """Arm the propose timer if this node proposes the current height/round."""
+        if self._crashed or not self._is_proposer(self.height, self.state.round):
+            return
+        elapsed = self.sim.now - self._last_commit_time
+        delay = max(0.0, self.config.block_interval - elapsed)
+        self._propose_timer.start(delay)
+
+    def _maybe_propose(self) -> None:
+        if self._crashed or self.state.committed:
+            return
+        if not self._is_proposer(self.height, self.state.round):
+            return
+        if self.state.proposal is not None:
+            return
+        txs = self.mempool.reap(self.config.block_size_bytes)
+        if not txs:
+            # No transactions: retry shortly rather than emitting empty blocks.
+            self._propose_timer.start(self.config.block_interval * _EMPTY_RETRY_FRACTION)
+            return
+        proposal = Proposal(
+            height=self.height,
+            round=self.state.round,
+            proposer=self.name,
+            transactions=tuple(txs),
+            block_id=block_id_for(self.height, tuple(txs), self.name),
+        )
+        self._broadcast_validators("proposal", proposal, size_bytes=proposal.size_bytes)
+        self._handle_proposal(proposal)
+
+    # -- consensus steps -----------------------------------------------------------
+
+    def _on_proposal(self, message: Message) -> None:
+        proposal: Proposal = message.payload
+        if proposal.height > self.height:
+            self._future.setdefault(proposal.height, []).append(message)
+            return
+        if proposal.height < self.height:
+            return
+        self._handle_proposal(proposal)
+
+    def _handle_proposal(self, proposal: Proposal) -> None:
+        if proposal.proposer != self.validators.proposer(proposal.height, proposal.round):
+            return  # not the legitimate proposer for this round
+        # Buffer by round: a proposal may arrive while we are still in an
+        # earlier round (e.g. during a nil-round changeover) and must not be
+        # lost when we advance.
+        self._round_proposals[(proposal.height, proposal.round)] = proposal
+        self._maybe_progress()
+
+    def _cast_vote(self, vote_type: VoteType, block_id: str) -> None:
+        vote = Vote(height=self.height, round=self.state.round, voter=self.name,
+                    vote_type=vote_type, block_id=block_id)
+        self._broadcast_validators(vote_type.value, vote, size_bytes=_VOTE_SIZE)
+        self.state.record_vote(vote)
+
+    def _on_vote(self, message: Message) -> None:
+        vote: Vote = message.payload
+        if vote.height > self.height:
+            self._future.setdefault(vote.height, []).append(message)
+            return
+        if vote.height < self.height:
+            return
+        self.state.record_vote(vote)
+        self._maybe_progress()
+
+    def _maybe_progress(self) -> None:
+        """Drive the prevote → precommit → commit pipeline from current knowledge.
+
+        Called whenever new information arrives (proposal, vote, round change).
+        This state-driven formulation tolerates any message ordering: late
+        proposals, votes recorded for a round we have not entered yet, and
+        nil-round changeovers all converge.
+        """
+        if self._crashed or self.state.committed:
+            return
+        state = self.state
+        quorum = self.validators.quorum
+        proposal = self._round_proposals.get((self.height, state.round))
+        if proposal is not None and state.proposal is None:
+            state.proposal = proposal
+        if state.proposal is not None:
+            block_id = state.proposal.block_id
+            if not state.prevoted:
+                state.prevoted = True
+                self._cast_vote(VoteType.PREVOTE, block_id)
+            if (not state.precommitted
+                    and state.count(state.round, VoteType.PREVOTE, block_id) >= quorum):
+                state.precommitted = True
+                self._cast_vote(VoteType.PRECOMMIT, block_id)
+            if (not state.committed
+                    and state.count(state.round, VoteType.PRECOMMIT, block_id) >= quorum):
+                self._try_commit(block_id)
+                return
+        # Nil-round handling: a quorum of nil prevotes means no block can reach
+        # a prevote quorum in this round (each validator votes once), so we can
+        # precommit nil even if a late proposal has arrived; a quorum of nil
+        # precommits then moves everyone to the next round.
+        if (not state.precommitted
+                and state.count(state.round, VoteType.PREVOTE, NIL_BLOCK) >= quorum):
+            state.precommitted = True
+            self._cast_vote(VoteType.PRECOMMIT, NIL_BLOCK)
+        if (not state.committed
+                and state.count(state.round, VoteType.PRECOMMIT, NIL_BLOCK) >= quorum):
+            self._advance_round()
+
+    def _try_commit(self, block_id: str) -> None:
+        proposal = self.state.proposal
+        if proposal is None or proposal.block_id != block_id:
+            # Quorum formed before the proposal arrived here; wait for it.
+            return
+        self.state.committed = True
+        block = Block(height=self.height, transactions=proposal.transactions,
+                      proposer=proposal.proposer, timestamp=self.sim.now)
+        self.committed_blocks.append(block)
+        for tx in block.transactions:
+            self.inclusion_height[tx.tx_id] = block.height
+        self.mempool.remove_committed(list(block.transactions))
+        if self.app is not None:
+            self.app.finalize_block(block)
+        self._advance_height()
+
+    def _advance_height(self) -> None:
+        self._last_commit_time = self.sim.now
+        self.height += 1
+        self.state = ConsensusState(height=self.height)
+        self._round_proposals = {key: value for key, value in self._round_proposals.items()
+                                 if key[0] >= self.height}
+        self._round_timer.start(self.config.block_interval * _ROUND_TIMEOUT_FACTOR)
+        self._schedule_proposal()
+        # Replay any consensus traffic that arrived early for this height.
+        for message in self._future.pop(self.height, []):
+            super().deliver(message)
+
+    def _advance_round(self) -> None:
+        """Move to the next round after a failed one (nil precommit quorum)."""
+        self.state.round += 1
+        self.state.proposal = None
+        self.state.prevoted = False
+        self.state.precommitted = False
+        self._round_timer.start(self.config.block_interval * _ROUND_TIMEOUT_FACTOR)
+        self._schedule_proposal()
+        # A proposal or votes for the new round may already have been recorded.
+        self._maybe_progress()
+
+    def _on_round_timeout(self) -> None:
+        """Round liveness: prevote nil if nothing committed in time."""
+        if self._crashed or self.state.committed:
+            return
+        if self.state.proposal is None and not self.state.prevoted:
+            self.state.prevoted = True
+            self._cast_vote(VoteType.PREVOTE, NIL_BLOCK)
+        self._maybe_progress()
+        self._round_timer.start(self.config.block_interval * _ROUND_TIMEOUT_FACTOR)
+
+
+class CometBFTNetwork:
+    """Builds and manages the full validator deployment."""
+
+    def __init__(self, sim: Simulator, network: Network, n_validators: int,
+                 config: LedgerConfig | None = None,
+                 name_prefix: str = "cometbft") -> None:
+        if n_validators < 1:
+            raise ConsensusError("need at least one validator")
+        self.sim = sim
+        self.network = network
+        self.config = config if config is not None else LedgerConfig()
+        names = [f"{name_prefix}-{i}" for i in range(n_validators)]
+        self.validators = ValidatorSet(names)
+        self.nodes: dict[str, CometBFTNode] = {}
+        for name in names:
+            node = CometBFTNode(name, sim, self.validators, self.config)
+            network.register(node)
+            self.nodes[name] = node
+
+    def start(self) -> None:
+        for node in self.nodes.values():
+            node.start()
+
+    def node_list(self) -> list[CometBFTNode]:
+        return [self.nodes[name] for name in self.validators.names]
+
+    def min_committed_height(self) -> int:
+        """Highest block height committed by every live node."""
+        live = [n for n in self.nodes.values() if not n.crashed]
+        if not live:
+            return 0
+        return min(len(n.committed_blocks) for n in live)

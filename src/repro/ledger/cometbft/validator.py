@@ -1,0 +1,48 @@
+"""Validator set: membership, quorums, proposer rotation."""
+
+from __future__ import annotations
+
+from ...errors import ConsensusError
+
+
+class ValidatorSet:
+    """The fixed, equally-weighted validator set of the simulated chain.
+
+    CometBFT tolerates ``f < n/3`` Byzantine validators; quorums are therefore
+    ``2f + 1`` with ``f = (n - 1) // 3``.  Proposer selection rotates
+    round-robin by ``height + round``, a simplification of CometBFT's
+    weighted-priority rotation that preserves fairness for equal weights.
+    """
+
+    def __init__(self, names: list[str]) -> None:
+        if not names:
+            raise ConsensusError("validator set cannot be empty")
+        if len(set(names)) != len(names):
+            raise ConsensusError("validator names must be unique")
+        self.names = sorted(names)
+
+    @property
+    def size(self) -> int:
+        return len(self.names)
+
+    @property
+    def max_faulty(self) -> int:
+        """Largest f with f < n/3."""
+        return (self.size - 1) // 3
+
+    @property
+    def quorum(self) -> int:
+        """Votes needed to progress: 2f + 1."""
+        return 2 * self.max_faulty + 1
+
+    def proposer(self, height: int, round_: int = 0) -> str:
+        """Validator that proposes at ``(height, round)``."""
+        if height < 1 or round_ < 0:
+            raise ConsensusError(f"invalid (height, round) = ({height}, {round_})")
+        return self.names[(height - 1 + round_) % self.size]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.names
+
+    def __iter__(self):  # type: ignore[no-untyped-def]
+        return iter(self.names)

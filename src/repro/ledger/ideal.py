@@ -1,0 +1,115 @@
+"""Ideal ledger: a centralized sequencer satisfying Properties 9-11.
+
+The ideal ledger removes consensus messaging entirely: a single sequencer
+collects appended transactions and, at the configured block interval, cuts a
+block (bounded by the block-size cap) and notifies every subscribed
+application in the same order.  It is used to unit-test Setchain logic in
+isolation and to run fast analytical-scale sweeps where consensus overhead is
+not the quantity being measured.
+"""
+
+from __future__ import annotations
+
+from ..config import LedgerConfig
+from ..errors import LedgerError
+from ..sim.process import PeriodicTask
+from ..sim.scheduler import Simulator
+from .abci import Application, LedgerInterface
+from .types import Block, Transaction
+
+
+class IdealLedger:
+    """The shared sequencer.  Each server talks to it through a :class:`IdealLedgerHandle`."""
+
+    def __init__(self, sim: Simulator, config: LedgerConfig | None = None) -> None:
+        self.sim = sim
+        self.config = config if config is not None else LedgerConfig()
+        self._pending: list[Transaction] = []
+        self._pending_ids: set[int] = set()
+        self._apps: list[Application] = []
+        self._height = 0
+        self.blocks: list[Block] = []
+        self._producer = PeriodicTask(sim, self.config.block_interval, self._produce_block)
+        #: tx_id -> simulated time the transaction reached the sequencer.
+        self.arrival_times: dict[int, float] = {}
+        #: tx_id -> height of the block that included it.
+        self.inclusion_height: dict[int, int] = {}
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def start(self) -> None:
+        """Begin producing blocks at the configured rate."""
+        self._producer.start()
+
+    def stop(self) -> None:
+        self._producer.stop()
+
+    # -- ledger API ------------------------------------------------------------
+
+    def handle_for(self, owner: str) -> "IdealLedgerHandle":
+        """A per-server handle implementing :class:`LedgerInterface`."""
+        return IdealLedgerHandle(self, owner)
+
+    def submit(self, tx: Transaction) -> None:
+        """Accept a transaction into the shared pending queue (exactly once)."""
+        if tx.tx_id in self._pending_ids or tx.tx_id in self.inclusion_height:
+            return
+        self._pending.append(tx)
+        self._pending_ids.add(tx.tx_id)
+        self.arrival_times.setdefault(tx.tx_id, self.sim.now)
+
+    def subscribe(self, app: Application) -> None:
+        if app in self._apps:
+            raise LedgerError("application already subscribed")
+        self._apps.append(app)
+
+    # -- block production -------------------------------------------------------
+
+    @property
+    def height(self) -> int:
+        return self._height
+
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    def _produce_block(self) -> None:
+        if not self._pending:
+            return
+        budget = self.config.block_size_bytes
+        included: list[Transaction] = []
+        while self._pending:
+            tx = self._pending[0]
+            if tx.size_bytes > budget and included:
+                break
+            if tx.size_bytes > self.config.block_size_bytes:
+                # A single transaction larger than a block still goes alone,
+                # mirroring CometBFT's behaviour of never splitting a tx.
+                if included:
+                    break
+            included.append(self._pending.pop(0))
+            self._pending_ids.discard(tx.tx_id)
+            budget -= tx.size_bytes
+            if budget <= 0:
+                break
+        self._height += 1
+        block = Block(height=self._height, transactions=tuple(included),
+                      proposer="sequencer", timestamp=self.sim.now)
+        self.blocks.append(block)
+        for tx in included:
+            self.inclusion_height[tx.tx_id] = block.height
+        for app in list(self._apps):
+            app.finalize_block(block)
+
+
+class IdealLedgerHandle(LedgerInterface):
+    """Per-server view of the :class:`IdealLedger`."""
+
+    def __init__(self, ledger: IdealLedger, owner: str) -> None:
+        self._ledger = ledger
+        self.owner = owner
+
+    def append(self, tx: Transaction) -> None:
+        self._ledger.submit(tx)
+
+    def subscribe(self, app: Application) -> None:
+        self._ledger.subscribe(app)

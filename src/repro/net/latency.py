@@ -1,0 +1,93 @@
+"""Latency models for message delivery.
+
+Every model returns a one-way delivery delay in seconds.  The artificial
+``network_delay`` knob from Table 1 is added uniformly on top of the base
+model, exactly as the paper injects it into all server-to-server
+communication.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from ..errors import ConfigurationError
+from ..sim.rng import DeterministicRNG
+
+
+class LatencyModel(ABC):
+    """Base class: draw a one-way delay for a (sender, recipient, size) triple."""
+
+    def __init__(self, extra_delay: float = 0.0) -> None:
+        if extra_delay < 0:
+            raise ConfigurationError("extra_delay cannot be negative")
+        #: The artificial per-message delay added on top of the base model
+        #: (the ``network_delay`` experiment parameter, in seconds).
+        self.extra_delay = extra_delay
+
+    def delay(self, rng: DeterministicRNG, sender: str, recipient: str,
+              size_bytes: int) -> float:
+        """Total one-way delay: base draw plus the artificial extra delay."""
+        base = self._base_delay(rng, sender, recipient, size_bytes)
+        if base < 0:
+            raise ConfigurationError("latency model produced a negative delay")
+        return base + self.extra_delay
+
+    @abstractmethod
+    def _base_delay(self, rng: DeterministicRNG, sender: str, recipient: str,
+                    size_bytes: int) -> float:
+        """Return the base one-way delay in seconds."""
+
+
+class ConstantLatency(LatencyModel):
+    """Fixed delay for every message; optional per-byte transmission cost."""
+
+    def __init__(self, base: float = 0.001, per_byte: float = 0.0,
+                 extra_delay: float = 0.0) -> None:
+        super().__init__(extra_delay)
+        if base < 0 or per_byte < 0:
+            raise ConfigurationError("latency parameters cannot be negative")
+        self.base = base
+        self.per_byte = per_byte
+
+    def _base_delay(self, rng: DeterministicRNG, sender: str, recipient: str,
+                    size_bytes: int) -> float:
+        return self.base + self.per_byte * size_bytes
+
+
+class UniformLatency(LatencyModel):
+    """Delay drawn uniformly from ``[low, high]`` plus per-byte transmission cost."""
+
+    def __init__(self, low: float, high: float, per_byte: float = 0.0,
+                 extra_delay: float = 0.0) -> None:
+        super().__init__(extra_delay)
+        if low < 0 or high < low:
+            raise ConfigurationError("require 0 <= low <= high for UniformLatency")
+        if per_byte < 0:
+            raise ConfigurationError("per_byte cannot be negative")
+        self.low = low
+        self.high = high
+        self.per_byte = per_byte
+
+    def _base_delay(self, rng: DeterministicRNG, sender: str, recipient: str,
+                    size_bytes: int) -> float:
+        return rng.uniform(self.low, self.high) + self.per_byte * size_bytes
+
+
+#: Approximate cluster-network bandwidth used by the profiles: 1 Gbit/s.
+_GIGABIT_PER_BYTE = 8.0 / 1e9
+
+
+def lan_profile(network_delay: float = 0.0) -> LatencyModel:
+    """Latency profile matching the paper's single-cluster deployment.
+
+    Sub-millisecond base latency plus 1 Gbit/s serialisation cost, plus the
+    artificial ``network_delay`` (seconds).
+    """
+    return UniformLatency(low=0.0002, high=0.0008, per_byte=_GIGABIT_PER_BYTE,
+                          extra_delay=network_delay)
+
+
+def wan_profile(network_delay: float = 0.0) -> LatencyModel:
+    """A wide-area profile (tens of milliseconds) for the geo-distribution discussion."""
+    return UniformLatency(low=0.030, high=0.080, per_byte=_GIGABIT_PER_BYTE,
+                          extra_delay=network_delay)

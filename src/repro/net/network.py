@@ -1,0 +1,119 @@
+"""The simulated network: reliable delivery with modelled latency."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..errors import NetworkError
+from ..sim.scheduler import Simulator
+from .latency import ConstantLatency, LatencyModel
+from .message import Message
+from .node import NetworkNode
+
+#: A fault-injection filter: returns True if the message should be dropped.
+DropRule = Callable[[Message], bool]
+
+
+class Network:
+    """Connects :class:`NetworkNode` instances through the simulator.
+
+    Delivery is reliable and exactly-once for correct processes (the system
+    model's assumption).  Fault-injection hooks (:meth:`add_drop_rule`,
+    :meth:`partition`) exist for tests that model faulty processes or explore
+    behaviour outside the model's guarantees.
+    """
+
+    def __init__(self, sim: Simulator, latency: LatencyModel | None = None) -> None:
+        self.sim = sim
+        self.latency = latency if latency is not None else ConstantLatency()
+        self._nodes: dict[str, NetworkNode] = {}
+        self._drop_rules: list[DropRule] = []
+        self._partitions: list[tuple[frozenset[str], frozenset[str]]] = []
+        #: Totals for observability.
+        self.messages_delivered = 0
+        self.messages_dropped = 0
+        self.bytes_delivered = 0
+        self._rng = sim.rng.derive("network")
+
+    # -- membership -----------------------------------------------------------
+
+    def register(self, node: NetworkNode) -> None:
+        """Add a node; names must be unique."""
+        if node.name in self._nodes:
+            raise NetworkError(f"a node named {node.name!r} is already registered")
+        self._nodes[node.name] = node
+        node.attach(self)
+
+    def node_names(self) -> list[str]:
+        """Registered node names in sorted (deterministic) order."""
+        return sorted(self._nodes)
+
+    def node(self, name: str) -> NetworkNode:
+        try:
+            return self._nodes[name]
+        except KeyError:
+            raise NetworkError(f"unknown node {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    # -- fault injection -------------------------------------------------------
+
+    def add_drop_rule(self, rule: DropRule) -> None:
+        """Drop every message for which ``rule(message)`` is true."""
+        self._drop_rules.append(rule)
+
+    def clear_drop_rules(self) -> None:
+        self._drop_rules.clear()
+
+    def partition(self, group_a: set[str], group_b: set[str]) -> None:
+        """Silently drop all traffic between the two groups until :meth:`heal`."""
+        self._partitions.append((frozenset(group_a), frozenset(group_b)))
+
+    def heal(self) -> None:
+        """Remove all partitions."""
+        self._partitions.clear()
+
+    def _crosses_partition(self, message: Message) -> bool:
+        for group_a, group_b in self._partitions:
+            if ((message.sender in group_a and message.recipient in group_b)
+                    or (message.sender in group_b and message.recipient in group_a)):
+                return True
+        return False
+
+    # -- transmission ----------------------------------------------------------
+
+    def transmit(self, message: Message) -> None:
+        """Schedule delivery of ``message`` after a modelled latency.
+
+        Unknown recipients are an error (a correct process never addresses a
+        process outside the deployment).
+        """
+        if message.recipient not in self._nodes:
+            raise NetworkError(
+                f"{message.sender!r} sent {message.msg_type!r} to unknown node "
+                f"{message.recipient!r}"
+            )
+        if self._crosses_partition(message) or any(rule(message) for rule in self._drop_rules):
+            self.messages_dropped += 1
+            return
+        if message.sender == message.recipient:
+            # Local self-delivery has no network latency but is still async so
+            # handlers never re-enter each other.
+            self.sim.call_soon(lambda: self._deliver(message))
+            return
+        delay = self.latency.delay(self._rng, message.sender, message.recipient,
+                                   message.size_bytes)
+        self.sim.call_in(delay, lambda: self._deliver(message))
+
+    def _deliver(self, message: Message) -> None:
+        node = self._nodes.get(message.recipient)
+        if node is None:  # node removed mid-flight; treat as dropped
+            self.messages_dropped += 1
+            return
+        self.messages_delivered += 1
+        self.bytes_delivered += message.size_bytes
+        node.deliver(message)

@@ -1,0 +1,30 @@
+"""Discrete-event simulation kernel.
+
+This package replaces the paper's real-time Docker cluster with a virtual
+clock.  Everything in the reproduction — network delivery, block production,
+collector timeouts, client injection — is expressed as events scheduled on a
+single :class:`~repro.sim.scheduler.Simulator`.
+
+Typical usage::
+
+    from repro.sim import Simulator
+
+    sim = Simulator(seed=42)
+    sim.call_at(1.0, lambda: print("one second of simulated time"))
+    sim.run_until(10.0)
+"""
+
+from .events import Event, EventQueue
+from .scheduler import Simulator
+from .process import PeriodicTask, Timer
+from .rng import DeterministicRNG, derive_seed
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "Simulator",
+    "PeriodicTask",
+    "Timer",
+    "DeterministicRNG",
+    "derive_seed",
+]

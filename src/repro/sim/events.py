@@ -1,0 +1,99 @@
+"""Event primitives for the discrete-event simulator.
+
+Events are ordered by ``(time, priority, sequence)``.  The sequence number
+breaks ties deterministically in insertion order, which keeps simulations
+reproducible regardless of callback identity.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..errors import SimulationError
+
+Callback = Callable[[], None]
+
+
+@dataclass(order=True, slots=True)
+class Event:
+    """A single scheduled callback.
+
+    Attributes
+    ----------
+    time:
+        Absolute simulated time at which the callback fires.
+    priority:
+        Lower numbers fire first among events scheduled for the same time.
+    seq:
+        Monotonic tie-breaker assigned by the queue.
+    callback:
+        Zero-argument callable invoked when the event fires.
+    cancelled:
+        Set by :meth:`cancel`; cancelled events are skipped by the scheduler.
+    """
+
+    time: float
+    priority: int
+    seq: int
+    callback: Callback = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Prevent the callback from running.  Idempotent."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """A min-heap of :class:`Event` objects keyed by time."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        """Number of live (non-cancelled) events.  O(n); meant for tests/inspection."""
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def __bool__(self) -> bool:
+        return self.peek_time() is not None
+
+    def push(self, time: float, callback: Callback, priority: int = 0) -> Event:
+        """Schedule ``callback`` at absolute ``time`` and return the event handle."""
+        if time != time:  # NaN guard
+            raise SimulationError("event time is NaN")
+        event = Event(time=time, priority=priority, seq=next(self._counter),
+                      callback=callback)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Event:
+        """Remove and return the earliest non-cancelled event.
+
+        Raises
+        ------
+        SimulationError
+            If the queue holds no live events.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            return event
+        raise SimulationError("pop from empty event queue")
+
+    def peek_time(self) -> float | None:
+        """Time of the earliest live event, or ``None`` if the queue is empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def discard_cancelled(self) -> None:
+        """Compact the heap by removing cancelled entries (O(n))."""
+        live = [e for e in self._heap if not e.cancelled]
+        heapq.heapify(live)
+        self._heap = live

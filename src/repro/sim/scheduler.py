@@ -1,0 +1,152 @@
+"""The simulation scheduler: a virtual clock driving an event queue."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..errors import SimulationError
+from .events import Callback, Event, EventQueue
+from .rng import DeterministicRNG
+
+
+class Simulator:
+    """Single-threaded discrete-event simulator.
+
+    The simulator owns the virtual clock (:attr:`now`), an event queue, and a
+    deterministic random number generator shared by all model components so a
+    given seed always reproduces the same schedule.
+
+    Parameters
+    ----------
+    seed:
+        Seed for the simulation-wide RNG.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._now = 0.0
+        self._queue = EventQueue()
+        self._running = False
+        self.rng = DeterministicRNG(seed)
+        #: Number of events executed so far (useful for progress/limits).
+        self.events_executed = 0
+        #: Optional hard cap on executed events; ``None`` means unlimited.
+        self.max_events: int | None = None
+
+    # -- clock ----------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def pending_events(self) -> int:
+        """Number of live events waiting in the queue."""
+        return len(self._queue)
+
+    # -- scheduling -----------------------------------------------------------
+
+    def call_at(self, time: float, callback: Callback, priority: int = 0) -> Event:
+        """Schedule ``callback`` at absolute simulated ``time``.
+
+        Scheduling in the past raises :class:`SimulationError` — model code
+        should always schedule at ``now`` or later.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event at {time:.6f}, current time is {self._now:.6f}"
+            )
+        return self._queue.push(time, callback, priority)
+
+    def call_in(self, delay: float, callback: Callback, priority: int = 0) -> Event:
+        """Schedule ``callback`` ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        return self._queue.push(self._now + delay, callback, priority)
+
+    def call_soon(self, callback: Callback, priority: int = 0) -> Event:
+        """Schedule ``callback`` at the current time, after already-queued events."""
+        return self._queue.push(self._now, callback, priority)
+
+    # -- execution ------------------------------------------------------------
+
+    def step(self) -> bool:
+        """Run the earliest pending event.  Returns ``False`` if the queue is empty."""
+        if not self._queue:
+            return False
+        event = self._queue.pop()
+        if event.time < self._now:
+            raise SimulationError("event queue produced an event in the past")
+        self._now = event.time
+        self.events_executed += 1
+        event.callback()
+        return True
+
+    def run_until(self, end_time: float) -> None:
+        """Run events until the clock reaches ``end_time`` (inclusive).
+
+        The clock is advanced to exactly ``end_time`` when the queue drains or
+        the next event lies beyond the horizon, so repeated calls compose.
+        """
+        if end_time < self._now:
+            raise SimulationError(
+                f"run_until({end_time}) is before current time {self._now}"
+            )
+        if self._running:
+            raise SimulationError("simulator is already running (re-entrant run)")
+        self._running = True
+        try:
+            while True:
+                next_time = self._queue.peek_time()
+                if next_time is None or next_time > end_time:
+                    break
+                if self.max_events is not None and self.events_executed >= self.max_events:
+                    raise SimulationError(
+                        f"event budget of {self.max_events} exhausted at t={self._now:.3f}"
+                    )
+                self.step()
+            self._now = max(self._now, end_time)
+        finally:
+            self._running = False
+
+    def run_until_idle(self, max_time: float | None = None) -> None:
+        """Run until no events remain, optionally bounded by ``max_time``."""
+        horizon = float("inf") if max_time is None else max_time
+        if self._running:
+            raise SimulationError("simulator is already running (re-entrant run)")
+        self._running = True
+        try:
+            while True:
+                next_time = self._queue.peek_time()
+                if next_time is None or next_time > horizon:
+                    break
+                if self.max_events is not None and self.events_executed >= self.max_events:
+                    raise SimulationError(
+                        f"event budget of {self.max_events} exhausted at t={self._now:.3f}"
+                    )
+                self.step()
+            if max_time is not None:
+                self._now = max(self._now, max_time)
+        finally:
+            self._running = False
+
+    # -- conditions -----------------------------------------------------------
+
+    def run_until_condition(self, predicate: Callable[[], bool],
+                            check_interval: float = 0.1,
+                            max_time: float = float("inf")) -> bool:
+        """Run until ``predicate()`` is true, polling every ``check_interval``.
+
+        Returns ``True`` if the predicate became true, ``False`` if the
+        simulation drained or hit ``max_time`` first.
+        """
+        if predicate():
+            return True
+        while self._now < max_time:
+            next_time = self._queue.peek_time()
+            if next_time is None:
+                return predicate()
+            target = min(next_time, max_time)
+            self.run_until(target)
+            if predicate():
+                return True
+        return predicate()

@@ -1,0 +1,3 @@
+"""Package version, kept separate so substrates can import it without cycles."""
+
+__version__ = "1.0.0"

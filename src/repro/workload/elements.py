@@ -1,0 +1,81 @@
+"""Setchain elements.
+
+An element is the client-created unit stored by the Setchain (paper §2): it is
+signed by its creating client, can be validated by servers for syntactic and
+semantic correctness, and — by assumption — cannot be forged by a server.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from ..errors import InvalidElementError
+
+_element_counter = itertools.count()
+
+
+def element_signing_payload(element_id: int, client: str, size_bytes: int,
+                            body_digest: str) -> str:
+    """Canonical string a client signs when creating an element."""
+    return f"element|{element_id}|{client}|{size_bytes}|{body_digest}"
+
+
+@dataclass(frozen=True, slots=True)
+class Element:
+    """A client-created Setchain element.
+
+    Attributes
+    ----------
+    element_id:
+        Unique identifier (stands in for the transaction hash of the Arbitrum
+        trace element).
+    client:
+        Identifier of the creating client.
+    size_bytes:
+        Modelled wire size of the element (dominates all throughput results).
+    body_digest:
+        Digest of the element body; the simulation does not carry the raw
+        payload bytes around, only their digest and size.
+    signature:
+        Client signature over :func:`element_signing_payload`.  Empty for
+        deliberately invalid elements injected by fault tests.
+    created_at:
+        Simulated creation time (latency stage 0).
+    valid:
+        Syntactic/semantic validity flag checked by ``valid_element``.
+        Byzantine clients and servers may circulate elements with
+        ``valid=False``; correct servers discard them.
+    """
+
+    element_id: int
+    client: str
+    size_bytes: int
+    body_digest: str
+    signature: bytes = b""
+    created_at: float = 0.0
+    valid: bool = True
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise InvalidElementError("element size must be positive")
+
+    def canonical_bytes(self) -> bytes:
+        """Stable encoding used for batch/epoch hashing."""
+        return element_signing_payload(self.element_id, self.client,
+                                       self.size_bytes, self.body_digest).encode()
+
+    @property
+    def is_element(self) -> bool:
+        """Type tag used when unpacking mixed batches (elements + epoch-proofs)."""
+        return True
+
+
+def make_element(client: str, size_bytes: int, body_digest: str = "",
+                 created_at: float = 0.0, valid: bool = True,
+                 signature: bytes = b"") -> Element:
+    """Create a fresh element with a globally unique id."""
+    element_id = next(_element_counter)
+    return Element(element_id=element_id, client=client, size_bytes=size_bytes,
+                   body_digest=body_digest or f"digest-{element_id}",
+                   signature=signature, created_at=created_at, valid=valid)

@@ -1,0 +1,90 @@
+"""Tests for epoch-proof creation and the f+1 commit rule."""
+
+import pytest
+
+from repro.core.proofs import (
+    committed_epochs,
+    create_epoch_proof,
+    distinct_signers,
+    epoch_is_committed,
+    verify_epoch_proof,
+)
+from repro.crypto.keys import PublicKeyInfrastructure
+from repro.crypto.signatures import SimulatedScheme
+from repro.workload.elements import make_element
+
+
+@pytest.fixture
+def scheme():
+    return SimulatedScheme(PublicKeyInfrastructure())
+
+
+@pytest.fixture
+def elements():
+    return [make_element("c", 100) for _ in range(5)]
+
+
+def make_proofs(scheme, elements, epoch, signers):
+    proofs = []
+    for name in signers:
+        keypair = scheme.generate_keypair(name)
+        proofs.append(create_epoch_proof(scheme, keypair, epoch, elements))
+    return proofs
+
+
+def test_create_and_verify_epoch_proof(scheme, elements):
+    keypair = scheme.generate_keypair("server-0")
+    proof = create_epoch_proof(scheme, keypair, 3, elements)
+    assert proof.epoch_number == 3 and proof.signer == "server-0"
+    assert verify_epoch_proof(scheme, proof, elements)
+    assert not verify_epoch_proof(scheme, proof, elements[:-1])
+
+
+def test_verify_rejects_resigned_by_other_server(scheme, elements):
+    kp0 = scheme.generate_keypair("server-0")
+    scheme.generate_keypair("server-1")
+    proof = create_epoch_proof(scheme, kp0, 1, elements)
+    impostor = type(proof)(epoch_number=1, epoch_hash=proof.epoch_hash,
+                           signature=proof.signature, signer="server-1")
+    assert not verify_epoch_proof(scheme, impostor, elements)
+
+
+def test_distinct_signers_counts_unique_and_filters_epoch(scheme, elements):
+    proofs = make_proofs(scheme, elements, 1, ["s0", "s1", "s2"])
+    proofs.append(proofs[0])  # duplicate
+    other_epoch = create_epoch_proof(scheme, scheme.generate_keypair("s3"), 2, elements)
+    signers = distinct_signers(proofs + [other_epoch], 1)
+    assert signers == {"s0", "s1", "s2"}
+    assert distinct_signers(proofs, 1, epoch_hash="bogus") == set()
+
+
+def test_epoch_is_committed_requires_quorum(scheme, elements):
+    proofs = make_proofs(scheme, elements, 1, ["s0", "s1"])
+    assert not epoch_is_committed(proofs, 1, elements, quorum=3)
+    proofs += make_proofs(scheme, elements, 1, ["s2"])
+    assert epoch_is_committed(proofs, 1, elements, quorum=3)
+
+
+def test_epoch_is_committed_ignores_mismatching_proofs(scheme, elements):
+    good = make_proofs(scheme, elements, 1, ["s0", "s1"])
+    wrong_content = make_proofs(scheme, elements[:-1], 1, ["s2", "s3"])
+    assert not epoch_is_committed(good + wrong_content, 1, elements, quorum=3)
+
+
+def test_epoch_is_committed_with_signature_verification(scheme, elements):
+    proofs = make_proofs(scheme, elements, 1, ["s0", "s1"])
+    forged = type(proofs[0])(epoch_number=1, epoch_hash=proofs[0].epoch_hash,
+                             signature=b"f" * 64, signer="s9")
+    scheme.generate_keypair("s9")
+    assert not epoch_is_committed(proofs + [forged], 1, elements, quorum=3, scheme=scheme)
+    assert epoch_is_committed(proofs + [forged], 1, elements, quorum=3)  # unchecked counts it? no:
+    # without scheme the forged proof's hash matches, so it counts; this is the
+    # server-side path where signatures were already verified before storage.
+
+
+def test_committed_epochs_over_history(scheme, elements):
+    history = {1: frozenset(elements[:2]), 2: frozenset(elements[2:])}
+    proofs = []
+    proofs += make_proofs(scheme, history[1], 1, ["a0", "a1", "a2"])
+    proofs += make_proofs(scheme, history[2], 2, ["a0"])
+    assert committed_epochs(proofs, history, quorum=3) == {1}

@@ -1,0 +1,84 @@
+"""Tests for the pure-Python RFC 8032 Ed25519 implementation.
+
+Includes the first RFC 8032 §7.1 test vectors, which pin the implementation to
+the standard rather than merely to itself.
+"""
+
+import pytest
+
+from repro.crypto import ed25519
+
+# RFC 8032 test vector 1 (empty message).
+_RFC_SECRET_1 = bytes.fromhex(
+    "9d61b19deffd5a60ba844af492ec2cc44449c5697b326919703bac031cae7f60")
+_RFC_PUBLIC_1 = bytes.fromhex(
+    "d75a980182b10ab7d54bfed3c964073a0ee172f3daa62325af021a68f707511a")
+_RFC_SIG_1 = bytes.fromhex(
+    "e5564300c360ac729086e2cc806e828a84877f1eb8e5d974d873e06522490155"
+    "5fb8821590a33bacc61e39701cf9b46bd25bf5f0595bbe24655141438e7a100b")
+
+# RFC 8032 test vector 2 (one-byte message 0x72).
+_RFC_SECRET_2 = bytes.fromhex(
+    "4ccd089b28ff96da9db6c346ec114e0f5b8a319f35aba624da8cf6ed4fb8a6fb")
+_RFC_PUBLIC_2 = bytes.fromhex(
+    "3d4017c3e843895a92b70aa74d1b7ebc9c982ccf2ec4968cc0cd55f12af4660c")
+_RFC_MSG_2 = bytes.fromhex("72")
+_RFC_SIG_2 = bytes.fromhex(
+    "92a009a9f0d4cab8720e820b5f642540a2b27b5416503f8fb3762223ebdb69da"
+    "085ac1e43e15996e458f3613d0f11d8c387b2eaeb4302aeeb00d291612bb0c00")
+
+
+def test_rfc8032_vector_1_public_key_and_signature():
+    assert ed25519.generate_public_key(_RFC_SECRET_1) == _RFC_PUBLIC_1
+    assert ed25519.sign(_RFC_SECRET_1, b"") == _RFC_SIG_1
+    assert ed25519.verify(_RFC_PUBLIC_1, b"", _RFC_SIG_1)
+
+
+def test_rfc8032_vector_2_public_key_and_signature():
+    assert ed25519.generate_public_key(_RFC_SECRET_2) == _RFC_PUBLIC_2
+    assert ed25519.sign(_RFC_SECRET_2, _RFC_MSG_2) == _RFC_SIG_2
+    assert ed25519.verify(_RFC_PUBLIC_2, _RFC_MSG_2, _RFC_SIG_2)
+
+
+def test_sign_verify_roundtrip():
+    secret = bytes(range(32))
+    public = ed25519.generate_public_key(secret)
+    message = b"setchain epoch proof"
+    signature = ed25519.sign(secret, message)
+    assert len(signature) == ed25519.SIGNATURE_SIZE
+    assert ed25519.verify(public, message, signature)
+
+
+def test_verify_rejects_wrong_message():
+    secret = bytes(range(32))
+    public = ed25519.generate_public_key(secret)
+    signature = ed25519.sign(secret, b"message A")
+    assert not ed25519.verify(public, b"message B", signature)
+
+
+def test_verify_rejects_tampered_signature():
+    secret = bytes(range(32))
+    public = ed25519.generate_public_key(secret)
+    signature = bytearray(ed25519.sign(secret, b"msg"))
+    signature[0] ^= 0xFF
+    assert not ed25519.verify(public, b"msg", bytes(signature))
+
+
+def test_verify_rejects_wrong_public_key():
+    sig = ed25519.sign(bytes(range(32)), b"msg")
+    other_public = ed25519.generate_public_key(bytes(range(1, 33)))
+    assert not ed25519.verify(other_public, b"msg", sig)
+
+
+def test_verify_rejects_malformed_inputs():
+    secret = bytes(range(32))
+    public = ed25519.generate_public_key(secret)
+    sig = ed25519.sign(secret, b"msg")
+    assert not ed25519.verify(public[:-1], b"msg", sig)
+    assert not ed25519.verify(public, b"msg", sig[:-1])
+    assert not ed25519.verify(b"\xff" * 32, b"msg", sig)
+
+
+def test_bad_secret_size_raises():
+    with pytest.raises(ValueError):
+        ed25519.generate_public_key(b"short")

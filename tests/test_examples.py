@@ -1,0 +1,53 @@
+"""Smoke tests: every shipped example runs to completion and reports success.
+
+The heavyweight Figure-1-style comparison example is exercised indirectly (its
+machinery is the experiment runner, covered elsewhere); the four interactive
+examples are run as scripts so a regression in the public API surfaces here.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True, text=True, timeout=300, check=False)
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+def test_examples_directory_contents():
+    names = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert {"quickstart.py", "digital_registry.py", "voting.py",
+            "byzantine_tolerance.py", "throughput_comparison.py"} <= names
+
+
+def test_quickstart_example():
+    out = run_example("quickstart.py")
+    assert "property check    : OK" in out
+    assert "elements committed" in out
+
+
+def test_digital_registry_example():
+    out = run_example("digital_registry.py")
+    assert "12/12 diplomas verified" in out
+    assert "Safety properties: OK" in out
+
+
+def test_voting_example():
+    out = run_example("voting.py")
+    assert "Identical tally on every server" in out
+    assert "winner:" in out
+
+
+def test_byzantine_tolerance_example():
+    out = run_example("byzantine_tolerance.py")
+    assert "honest elements epoched on every correct server : 30/30" in out
+    assert "withheld elements epoched anywhere              : 0/10" in out
+    assert "OK" in out

@@ -1,0 +1,82 @@
+"""Tests for the Appendix-G execution layer (Setchain → full blockchain)."""
+
+import pytest
+
+from repro.core.execution import AccountState, EpochExecutor, Transfer
+from repro.errors import SetchainError
+from repro.workload.elements import make_element
+
+
+def payload_table(table):
+    """Build a payload_of function from {element_id: Transfer}."""
+    return lambda element: table.get(element.element_id)
+
+
+def test_transfer_validation():
+    with pytest.raises(SetchainError):
+        Transfer("a", "b", 0)
+
+
+def test_account_state_credit_and_apply():
+    state = AccountState({"alice": 100})
+    assert state.balance("alice") == 100
+    assert state.balance("bob") == 0
+    assert state.try_apply(Transfer("alice", "bob", 60))
+    assert state.balance("alice") == 40 and state.balance("bob") == 60
+    assert not state.try_apply(Transfer("alice", "bob", 50))
+    state.credit("carol", 10)
+    assert state.balance("carol") == 10
+
+
+def test_optimistic_filter_drops_invalid_elements():
+    good, bad = make_element("c", 10), make_element("c", 10, valid=False)
+    executor = EpochExecutor(AccountState(), lambda e: None)
+    assert executor.optimistic_filter([good, bad]) == [good]
+
+
+def test_epoch_execution_applies_and_voids():
+    e1, e2, e3 = (make_element("c", 10) for _ in range(3))
+    table = {e1.element_id: Transfer("alice", "bob", 70),
+             e2.element_id: Transfer("alice", "bob", 70),   # insufficient after e1
+             e3.element_id: None}
+    executor = EpochExecutor(AccountState({"alice": 100}), payload_table(table))
+    result = executor.execute_epoch(1, [e1, e2, e3])
+    assert result.applied == 1 and result.voided == 1
+    assert e2.element_id in result.void_reasons
+    assert executor.total_applied == 1 and executor.total_voided == 1
+
+
+def test_execution_is_deterministic_by_element_id():
+    """Elements within an epoch execute in element-id order on every replica."""
+    e_small, e_big = sorted((make_element("c", 10), make_element("c", 10)),
+                            key=lambda e: e.element_id)
+    table = {e_small.element_id: Transfer("alice", "bob", 80),
+             e_big.element_id: Transfer("alice", "carol", 80)}
+    run_a = EpochExecutor(AccountState({"alice": 100}), payload_table(table))
+    run_b = EpochExecutor(AccountState({"alice": 100}), payload_table(table))
+    # Present the elements in different orders: outcome must be identical.
+    res_a = run_a.execute_epoch(1, [e_small, e_big])
+    res_b = run_b.execute_epoch(1, [e_big, e_small])
+    assert (res_a.applied, res_a.voided) == (res_b.applied, res_b.voided)
+    assert run_a.state.balances == run_b.state.balances
+
+
+def test_epochs_must_execute_in_order_and_once():
+    executor = EpochExecutor(AccountState(), lambda e: None)
+    executor.execute_epoch(1, [])
+    with pytest.raises(SetchainError):
+        executor.execute_epoch(3, [])
+    with pytest.raises(SetchainError):
+        executor.execute_epoch(1, [])
+
+
+def test_execute_history_runs_pending_epochs_in_order():
+    e1, e2 = make_element("c", 10), make_element("c", 10)
+    table = {e1.element_id: Transfer("alice", "bob", 30),
+             e2.element_id: Transfer("bob", "carol", 20)}
+    executor = EpochExecutor(AccountState({"alice": 50}), payload_table(table))
+    results = executor.execute_history({2: [e2], 1: [e1]})
+    assert [r.epoch_number for r in results] == [1, 2]
+    assert executor.state.balance("carol") == 20
+    # Re-running the same history is a no-op.
+    assert executor.execute_history({1: [e1], 2: [e2]}) == []

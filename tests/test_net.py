@@ -1,0 +1,186 @@
+"""Tests for the network substrate: latency models, nodes, delivery, faults."""
+
+import pytest
+
+from repro.errors import ConfigurationError, NetworkError
+from repro.net.latency import ConstantLatency, UniformLatency, lan_profile, wan_profile
+from repro.net.message import Message
+from repro.net.network import Network
+from repro.net.node import NetworkNode
+from repro.sim.rng import DeterministicRNG
+from repro.sim.scheduler import Simulator
+
+
+class Recorder(NetworkNode):
+    """Test node that records received payloads and delivery times."""
+
+    def __init__(self, name, sim):
+        super().__init__(name, sim)
+        self.received = []
+        self.on("ping", self._on_ping)
+        self.on("data", self._on_ping)
+
+    def _on_ping(self, message: Message) -> None:
+        self.received.append((self.sim.now, message.sender, message.payload))
+
+
+@pytest.fixture
+def pair(sim):
+    network = Network(sim, latency=ConstantLatency(base=0.010))
+    a, b = Recorder("a", sim), Recorder("b", sim)
+    network.register(a)
+    network.register(b)
+    return network, a, b
+
+
+# -- latency models ---------------------------------------------------------------
+
+def test_constant_latency_includes_per_byte_and_extra():
+    model = ConstantLatency(base=0.01, per_byte=0.001, extra_delay=0.1)
+    delay = model.delay(DeterministicRNG(0), "a", "b", size_bytes=5)
+    assert delay == pytest.approx(0.01 + 0.005 + 0.1)
+
+
+def test_uniform_latency_within_bounds():
+    model = UniformLatency(low=0.01, high=0.02)
+    rng = DeterministicRNG(1)
+    for _ in range(200):
+        assert 0.01 <= model.delay(rng, "a", "b", 0) <= 0.02
+
+
+def test_latency_validation_errors():
+    with pytest.raises(ConfigurationError):
+        ConstantLatency(base=-0.1)
+    with pytest.raises(ConfigurationError):
+        UniformLatency(low=0.2, high=0.1)
+    with pytest.raises(ConfigurationError):
+        ConstantLatency(extra_delay=-1.0)
+
+
+def test_lan_profile_is_submillisecond_and_wan_is_not():
+    rng = DeterministicRNG(2)
+    lan = lan_profile()
+    wan = wan_profile()
+    lan_delays = [lan.delay(rng, "a", "b", 100) for _ in range(100)]
+    wan_delays = [wan.delay(rng, "a", "b", 100) for _ in range(100)]
+    assert max(lan_delays) < 0.005
+    assert min(wan_delays) >= 0.030
+
+
+def test_network_delay_parameter_adds_to_every_message():
+    rng = DeterministicRNG(3)
+    base = lan_profile()
+    delayed = lan_profile(network_delay=0.100)
+    assert delayed.delay(rng, "a", "b", 0) >= 0.100
+    assert base.extra_delay == 0.0 and delayed.extra_delay == 0.100
+
+
+# -- node / network behaviour ---------------------------------------------------------
+
+def test_point_to_point_delivery_applies_latency(pair, sim):
+    network, a, b = pair
+    a.send("b", "ping", "hello", size_bytes=10)
+    sim.run_until(1.0)
+    assert len(b.received) == 1
+    time, sender, payload = b.received[0]
+    assert sender == "a" and payload == "hello"
+    assert time == pytest.approx(0.010, abs=1e-9)
+
+
+def test_broadcast_reaches_all_other_nodes(sim):
+    network = Network(sim, latency=ConstantLatency(base=0.001))
+    nodes = [Recorder(f"n{i}", sim) for i in range(5)]
+    for node in nodes:
+        network.register(node)
+    nodes[0].broadcast("ping", 42)
+    sim.run_until(1.0)
+    assert all(len(n.received) == 1 for n in nodes[1:])
+    assert len(nodes[0].received) == 0
+
+
+def test_self_send_is_asynchronous_but_immediate(pair, sim):
+    network, a, _ = pair
+    a.send("a", "ping", "self")
+    assert a.received == []  # not delivered synchronously
+    sim.run_until(0.0)
+    assert a.received == [(0.0, "a", "self")]
+
+
+def test_unknown_recipient_raises(pair):
+    _, a, _ = pair
+    with pytest.raises(NetworkError):
+        a.send("nobody", "ping", 1)
+
+
+def test_unhandled_message_type_raises(pair, sim):
+    network, a, b = pair
+    a.send("b", "mystery", None)
+    with pytest.raises(NetworkError):
+        sim.run_until(1.0)
+
+
+def test_duplicate_registration_rejected(sim):
+    network = Network(sim)
+    node = Recorder("dup", sim)
+    network.register(node)
+    with pytest.raises(NetworkError):
+        network.register(Recorder("dup", sim))
+
+
+def test_byte_and_message_accounting(pair, sim):
+    network, a, b = pair
+    a.send("b", "data", b"x" * 10, size_bytes=10)
+    a.send("b", "data", b"y" * 20, size_bytes=20)
+    sim.run_until(1.0)
+    assert a.messages_sent == 2 and a.bytes_sent == 30
+    assert b.messages_received == 2 and b.bytes_received == 30
+    assert network.messages_delivered == 2 and network.bytes_delivered == 30
+
+
+def test_drop_rule_drops_matching_messages(pair, sim):
+    network, a, b = pair
+    network.add_drop_rule(lambda m: m.msg_type == "ping")
+    a.send("b", "ping", 1)
+    a.send("b", "data", 2)
+    sim.run_until(1.0)
+    assert [p for _, _, p in b.received] == [2]
+    assert network.messages_dropped == 1
+    network.clear_drop_rules()
+    a.send("b", "ping", 3)
+    sim.run_until(2.0)
+    assert [p for _, _, p in b.received] == [2, 3]
+
+
+def test_partition_blocks_and_heal_restores(pair, sim):
+    network, a, b = pair
+    network.partition({"a"}, {"b"})
+    a.send("b", "ping", "blocked")
+    sim.run_until(1.0)
+    assert b.received == []
+    network.heal()
+    a.send("b", "ping", "through")
+    sim.run_until(2.0)
+    assert [p for _, _, p in b.received] == ["through"]
+
+
+def test_message_reply_addresses_sender():
+    message = Message(sender="a", recipient="b", msg_type="req", payload=1)
+    reply = message.reply("resp", 2, size_bytes=8)
+    assert reply.sender == "b" and reply.recipient == "a"
+    assert reply.msg_type == "resp" and reply.size_bytes == 8
+
+
+def test_message_ids_are_unique():
+    ids = {Message("a", "b", "t", None).msg_id for _ in range(100)}
+    assert len(ids) == 100
+
+
+def test_node_names_sorted_and_membership(sim):
+    network = Network(sim)
+    for name in ["zeta", "alpha", "mid"]:
+        network.register(Recorder(name, sim))
+    assert network.node_names() == ["alpha", "mid", "zeta"]
+    assert "alpha" in network and "nope" not in network
+    assert len(network) == 3
+    with pytest.raises(NetworkError):
+        network.node("nope")

@@ -1,0 +1,95 @@
+"""Unit tests for the event queue."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.events import EventQueue
+
+
+def test_push_and_pop_in_time_order():
+    queue = EventQueue()
+    order = []
+    queue.push(2.0, lambda: order.append("b"))
+    queue.push(1.0, lambda: order.append("a"))
+    queue.push(3.0, lambda: order.append("c"))
+    while queue:
+        queue.pop().callback()
+    assert order == ["a", "b", "c"]
+
+
+def test_ties_break_by_insertion_order():
+    queue = EventQueue()
+    order = []
+    for label in "abc":
+        queue.push(1.0, lambda lab=label: order.append(lab))
+    while queue:
+        queue.pop().callback()
+    assert order == ["a", "b", "c"]
+
+
+def test_priority_orders_same_time_events():
+    queue = EventQueue()
+    order = []
+    queue.push(1.0, lambda: order.append("low"), priority=5)
+    queue.push(1.0, lambda: order.append("high"), priority=0)
+    while queue:
+        queue.pop().callback()
+    assert order == ["high", "low"]
+
+
+def test_len_counts_live_events():
+    queue = EventQueue()
+    e1 = queue.push(1.0, lambda: None)
+    queue.push(2.0, lambda: None)
+    assert len(queue) == 2
+    e1.cancel()
+    queue.pop()
+    assert len(queue) == 0
+
+
+def test_cancelled_events_are_skipped():
+    queue = EventQueue()
+    fired = []
+    event = queue.push(1.0, lambda: fired.append(1))
+    queue.push(2.0, lambda: fired.append(2))
+    event.cancel()
+    queue.pop().callback()
+    assert fired == [2]
+
+
+def test_cancel_is_idempotent():
+    queue = EventQueue()
+    event = queue.push(1.0, lambda: None)
+    event.cancel()
+    event.cancel()
+    assert queue.peek_time() is None
+
+
+def test_pop_empty_raises():
+    queue = EventQueue()
+    with pytest.raises(SimulationError):
+        queue.pop()
+
+
+def test_peek_time_skips_cancelled():
+    queue = EventQueue()
+    first = queue.push(1.0, lambda: None)
+    queue.push(5.0, lambda: None)
+    first.cancel()
+    assert queue.peek_time() == 5.0
+
+
+def test_nan_time_rejected():
+    queue = EventQueue()
+    with pytest.raises(SimulationError):
+        queue.push(float("nan"), lambda: None)
+
+
+def test_discard_cancelled_compacts_heap():
+    queue = EventQueue()
+    events = [queue.push(float(i), lambda: None) for i in range(10)]
+    for event in events[:5]:
+        event.cancel()
+    queue.discard_cancelled()
+    assert len(queue) == 5
+    assert queue.peek_time() == 5.0
