@@ -1,0 +1,22 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test bench bench-smoke list-scenarios clean
+
+test:
+	$(PYTHON) -m pytest -q
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+# One registry scenario through the CLI, persisting its RunResult artifact.
+bench-smoke:
+	$(PYTHON) -m repro run quickstart --scale 1 --json results/bench-smoke.json
+	$(PYTHON) -m repro report results/bench-smoke.json
+
+list-scenarios:
+	$(PYTHON) -m repro list-scenarios
+
+clean:
+	rm -rf results .pytest_cache
+	find . -type d -name __pycache__ -prune -exec rm -rf {} +

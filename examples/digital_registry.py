@@ -20,45 +20,42 @@ Run with::
 
 from __future__ import annotations
 
-from repro import base_scenario
+from repro import Scenario
 from repro.core.client import SetchainClient
-from repro.core.deployment import build_deployment
 from repro.workload.elements import make_element
 
 
 def main() -> None:
-    config = base_scenario(
-        "hashchain",
-        n_servers=4,
-        sending_rate=50,           # background registry traffic
-        collector_limit=20,
-        injection_duration=10,
-        drain_duration=90,
-        label="digital-registry",
-    )
-    deployment = build_deployment(config)
-    deployment.start()
-    quorum = config.setchain.quorum
+    session = (Scenario.hashchain()
+               .servers(4)
+               .rate(50)                  # background registry traffic
+               .collector(20)
+               .inject_for(10)
+               .drain(90)
+               .label("digital-registry")
+               .session())
+    session.start()
+    deployment = session.deployment
+    quorum = session.config.setchain.quorum
 
-    registrar = SetchainClient("registrar", deployment.scheme, quorum=quorum)
     graduates = [f"grad-{i:03d}" for i in range(12)]
 
-    # Issue one diploma per graduate through server-0 only.
+    # Issue one diploma per graduate through server-0 only.  Session.inject
+    # delivers the element and records it as client-added (so the
+    # deployment-wide Add-before-Get property checker knows a client created
+    # it), raising if the server were to reject it.
     diplomas = {}
     for graduate in graduates:
         credential = make_element(client="registrar", size_bytes=600,
                                   body_digest=f"diploma:{graduate}:MSc-2026",
-                                  created_at=deployment.sim.now)
-        registrar.add(deployment.servers[0], credential)
-        # Record the credential as client-added so the deployment-wide property
-        # checker (Add-before-Get) knows a client created it.
-        deployment.injected_elements.append(credential)
+                                  created_at=session.now)
+        session.inject(element=credential, server=0)
         diplomas[graduate] = credential
     print(f"Issued {len(diplomas)} diplomas through server-0 "
           f"(quorum needed for trust: {quorum} epoch-proofs)")
 
     # Let the system run: batches flush, hashes consolidate, proofs accumulate.
-    deployment.run(until=60.0)
+    session.run_until(60.0)
 
     # Each graduate verifies through a different server than the registrar used.
     verified = 0
@@ -74,7 +71,7 @@ def main() -> None:
               f"(checked via {verifier.name})")
 
     print(f"\n{verified}/{len(diplomas)} diplomas verified through single-server reads.")
-    violations = deployment.check_properties(include_liveness=False)
+    violations = session.check_properties(include_liveness=False)
     print(f"Safety properties: {'OK' if not violations else violations}")
 
 

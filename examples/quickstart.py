@@ -1,12 +1,14 @@
 #!/usr/bin/env python3
 """Quickstart: run a small Hashchain deployment and inspect the results.
 
-This is the 60-second tour of the library:
+This is the 60-second tour of the library, using the public ``repro.api``:
 
-1. describe a scenario (algorithm + cluster + workload),
-2. run it on the simulated CometBFT-backed cluster,
+1. describe a scenario with the typed :class:`Scenario` builder,
+2. run it interactively through a :class:`Session` on the simulated
+   CometBFT-backed cluster,
 3. look at throughput, efficiency, commit latency, and the Setchain
-   correctness properties.
+   correctness properties — and keep the run as a JSON-serialisable
+   :class:`RunResult`.
 
 Run with::
 
@@ -15,45 +17,49 @@ Run with::
 
 from __future__ import annotations
 
-from repro import base_scenario, run_scenario
+from repro import Scenario
 
 
 def main() -> None:
     # A 4-server Hashchain cluster ingesting 200 elements/s for 10 seconds.
-    config = base_scenario(
-        "hashchain",
-        n_servers=4,
-        sending_rate=200,
-        collector_limit=25,
-        injection_duration=10,
-        drain_duration=60,
-        label="quickstart",
-    )
-    print(f"Running scenario: {config.label}")
-    result = run_scenario(config, scale=1.0)
+    scenario = (Scenario.hashchain()
+                .servers(4)
+                .rate(200)
+                .collector(25)
+                .inject_for(10)
+                .drain(60)
+                .label("quickstart"))
 
-    deployment = result.deployment
-    print(f"  elements injected : {len(deployment.injected_elements)}")
-    print(f"  elements committed: {result.metrics.committed_count}")
-    print(f"  epochs created    : {max(s.epoch for s in deployment.servers)}")
-    print(f"  avg throughput    : {result.avg_throughput_50s:.1f} el/s (first 50 s)")
-    print(f"  analytical bound  : {result.analytical_throughput:.0f} el/s")
-    print(f"  efficiency @50s   : {result.efficiency.at_50:.2f}")
-    print(f"  efficiency @100s  : {result.efficiency.at_100:.2f}")
+    with scenario.session() as session:
+        print(f"Running scenario: {session.config.label}")
+        session.run()
+        result = session.result()
 
-    latencies = result.metrics.commit_latencies()
-    if latencies:
-        median = latencies[len(latencies) // 2]
-        p90 = latencies[int(0.9 * (len(latencies) - 1))]
-        print(f"  commit latency    : median {median:.2f} s, p90 {p90:.2f} s")
+        deployment = session.deployment
+        print(f"  elements injected : {session.injected_count}")
+        print(f"  elements committed: {session.committed_count}")
+        print(f"  epochs created    : {max(s.epoch for s in deployment.servers)}")
+        print(f"  avg throughput    : {result.avg_throughput_50s:.1f} el/s (first 50 s)")
+        print(f"  analytical bound  : {result.analytical_throughput:.0f} el/s")
+        print(f"  efficiency @50s   : {result.efficiency['50s']:.2f}")
+        print(f"  efficiency @100s  : {result.efficiency['100s']:.2f}")
 
-    violations = deployment.check_properties()
-    print(f"  property check    : {'OK' if not violations else violations}")
+        latencies = deployment.metrics.commit_latencies()
+        if latencies:
+            median = latencies[len(latencies) // 2]
+            p90 = latencies[int(0.9 * (len(latencies) - 1))]
+            print(f"  commit latency    : median {median:.2f} s, p90 {p90:.2f} s")
 
-    # Peek at one server's Setchain view (the paper's get() tuple).
-    view = deployment.servers[0].get()
-    print(f"  server-0 view     : |the_set|={len(view.the_set)}, "
-          f"epoch={view.epoch}, |proofs|={len(view.proofs)}")
+        violations = session.check_properties()
+        print(f"  property check    : {'OK' if not violations else violations}")
+
+        # Peek at one server's Setchain view (the paper's get() tuple).
+        view = session.view(0)
+        print(f"  server-0 view     : |the_set|={len(view.the_set)}, "
+              f"epoch={view.epoch}, |proofs|={len(view.proofs)}")
+
+        # The result is a plain-data artifact: result.save("quickstart.json")
+        # persists it, RunResult.load() round-trips it exactly.
 
 
 if __name__ == "__main__":

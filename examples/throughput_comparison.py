@@ -4,7 +4,9 @@
 Runs Vanilla, Compresschain, and Hashchain on the same (scaled-down) workload
 and prints the rolling-throughput series plus the analytical bounds from the
 paper's Appendix D — the same comparison the full benchmark harness performs
-at larger scale for Figure 1 and Table 2.
+at larger scale for Figure 1 and Table 2.  Each run comes back as a
+serialisable :class:`RunResult`, so everything printed here could equally be
+re-rendered later from saved JSON artifacts (``python -m repro report``).
 
 Run with::
 
@@ -13,7 +15,7 @@ Run with::
 
 from __future__ import annotations
 
-from repro import base_scenario, run_scenario
+from repro import Scenario, run
 from repro.analysis.report import render_series, render_table
 
 #: Down-scale factor relative to the paper's 5,000 el/s scenario (see
@@ -25,18 +27,18 @@ def main() -> None:
     rows = []
     series = {}
     for algorithm in ("vanilla", "compresschain", "hashchain"):
-        config = base_scenario(algorithm, sending_rate=5_000, collector_limit=100,
-                               n_servers=10, drain_duration=70,
-                               label=f"mini-fig1 {algorithm}")
-        result = run_scenario(config, scale=SCALE)
+        scenario = (Scenario(algorithm)
+                    .rate(5_000).collector(100).servers(10).drain(70)
+                    .label(f"mini-fig1 {algorithm}"))
+        result = run(scenario, scale=SCALE)
         series[algorithm] = result.throughput
         rows.append([
             algorithm,
-            f"{result.sending_rate:.0f}",
+            f"{result.config['workload']['sending_rate']:.0f}",
             f"{result.avg_throughput_50s:.1f}",
             f"{result.analytical_throughput:.0f}",
-            f"{result.efficiency.at_50:.2f}",
-            f"{result.efficiency.at_100:.2f}",
+            f"{result.efficiency['50s']:.2f}",
+            f"{result.efficiency['100s']:.2f}",
         ])
 
     print(render_table(

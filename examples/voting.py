@@ -23,8 +23,7 @@ from __future__ import annotations
 
 from collections import Counter
 
-from repro import base_scenario
-from repro.core.deployment import build_deployment
+from repro import Scenario
 from repro.workload.elements import Element, make_element
 
 CANDIDATES = ("alice", "bob", "carol")
@@ -59,17 +58,13 @@ def tally(view, barrier_epoch: int) -> Counter:
 
 
 def main() -> None:
-    config = base_scenario(
-        "compresschain",
-        n_servers=4,
-        sending_rate=50,
-        collector_limit=25,
-        injection_duration=5,
-        drain_duration=60,
-        label="election",
-    )
-    deployment = build_deployment(config)
-    deployment.start()
+    session = (Scenario.compresschain()
+               .servers(4).rate(50).collector(25)
+               .inject_for(5).drain(60)
+               .label("election")
+               .session())
+    session.start()
+    deployment = session.deployment
 
     # 60 voters spread their ballots across all four servers; three voters try
     # to vote twice (the second ballot must be voided by the tally).
@@ -78,22 +73,24 @@ def main() -> None:
         voter = f"voter-{i:03d}"
         candidate = CANDIDATES[rng.randint(0, len(CANDIDATES) - 1)]
         server = deployment.servers[i % len(deployment.servers)]
-        server.add(cast_ballot(voter, candidate, deployment.sim.now))
+        server.add(cast_ballot(voter, candidate, session.now))
         if i < 3:  # double-vote attempt through a different server
             other = deployment.servers[(i + 1) % len(deployment.servers)]
-            other.add(cast_ballot(voter, CANDIDATES[0], deployment.sim.now))
+            other.add(cast_ballot(voter, CANDIDATES[0], session.now))
 
-    deployment.run(until=40.0)
+    session.run_until(40.0)
 
     # Election closes at the highest epoch every server has consolidated.
-    barrier = min(server.get().epoch for server in deployment.servers)
+    views = session.views()
+    barrier = min(view.epoch for view in views.values())
     print(f"Election closed at epoch barrier {barrier}")
 
-    tallies = [tally(server.get(), barrier) for server in deployment.servers]
-    reference = tallies[0]
-    for server, counts in zip(deployment.servers, tallies):
-        print(f"  {server.name}: {dict(counts)}")
-    assert all(counts == reference for counts in tallies), "servers disagree on the tally!"
+    tallies = {name: tally(view, barrier) for name, view in views.items()}
+    reference = next(iter(tallies.values()))
+    for name, counts in tallies.items():
+        print(f"  {name}: {dict(counts)}")
+    assert all(counts == reference for counts in tallies.values()), \
+        "servers disagree on the tally!"
 
     total = sum(reference.values())
     winner, votes = reference.most_common(1)[0]

@@ -6,13 +6,30 @@ CometBFT-style block-based ledger, plus every substrate they need (discrete-
 event simulation, network, crypto, mempool/consensus, compression, workload)
 and the full evaluation harness.
 
-Quick start::
+The public face is the :mod:`repro.api` subsystem — a typed scenario
+builder, a named-scenario registry, interactive sessions, and serialisable
+results::
 
-    from repro import base_scenario, run_scenario
+    from repro import Scenario, run
 
-    result = run_scenario(base_scenario("hashchain", sending_rate=500,
-                                        injection_duration=10), scale=1)
-    print(result.avg_throughput_50s, result.efficiency.at_100)
+    result = run(Scenario.hashchain().rate(500).inject_for(10))
+    print(result.avg_throughput_50s, result.efficiency["100s"])
+    result.save("hashchain.json")          # exact JSON round-trip
+
+    run("figure4/hashchain", scale=50)     # any registered scenario by name
+
+Interactive control of a deployment (step time, inject, inspect views)::
+
+    from repro import Session
+
+    with Session("quickstart") as session:
+        session.run_for(10.0)
+        print(session.backlog(), session.committed_fraction)
+
+The same registry backs the command line: ``python -m repro list-scenarios``,
+``run``, ``sweep``, and ``report``.  The historic ``base_scenario(**kwargs)``
+and ``run_scenario(...)`` entry points remain as thin shims over the builder
+and runner.
 """
 
 from .version import __version__
@@ -34,14 +51,35 @@ from .core import (
     run_experiment,
 )
 from .experiments.runner import ExperimentResult, run_scenario, scaled_config
+from .api import (
+    RunResult,
+    Scenario,
+    ScenarioBuilder,
+    Session,
+    get_scenario,
+    register_scenario,
+    run,
+    scenario_names,
+)
 
 __all__ = [
     "__version__",
+    # configuration
     "ExperimentConfig",
     "LedgerConfig",
     "SetchainConfig",
     "WorkloadConfig",
     "base_scenario",
+    # public experiment API
+    "Scenario",
+    "ScenarioBuilder",
+    "Session",
+    "RunResult",
+    "run",
+    "register_scenario",
+    "get_scenario",
+    "scenario_names",
+    # core system
     "BaseSetchainServer",
     "VanillaServer",
     "CompresschainServer",
@@ -50,6 +88,7 @@ __all__ = [
     "SetchainView",
     "build_deployment",
     "run_experiment",
+    # batch runner (legacy entry points)
     "ExperimentResult",
     "run_scenario",
     "scaled_config",

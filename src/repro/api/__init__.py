@@ -1,0 +1,65 @@
+"""The public experiment API: builder, registry, sessions, results, CLI.
+
+This package is the intended entry point for everything user-facing:
+
+* :class:`Scenario` / :class:`ScenarioBuilder` — typed, fluent scenario
+  construction with validated per-layer overrides;
+* :func:`register_scenario` / :func:`get_scenario` / :func:`scenario_names` —
+  the named-scenario registry, pre-populated (via :mod:`repro.api.catalog`)
+  with the paper's Table 1 grid, the figure scenario sets, and
+  stress/byzantine/burst workloads;
+* :class:`Session` — interactive, incremental control over a deployment;
+* :class:`RunResult` — serialisable results with exact JSON round-tripping;
+* :func:`run` — one-call scenario execution returning a :class:`RunResult`.
+
+The old ``base_scenario(**kwargs)`` / ``run_scenario(...)`` entry points
+remain as thin shims over this API.
+"""
+
+from __future__ import annotations
+
+from ..config import ExperimentConfig
+from .builder import Scenario, ScenarioBuilder
+from .registry import (
+    ScenarioEntry,
+    get_entry,
+    get_scenario,
+    iter_scenarios,
+    register_scenario,
+    scenario_names,
+    scenario_tags,
+    unregister_scenario,
+)
+from .results import RunResult
+from .session import Session
+
+# The built-in catalog (repro.api.catalog) is loaded lazily by the registry
+# on first access — see registry._ensure_catalog().
+
+
+def run(scenario: "ScenarioBuilder | ExperimentConfig | str",
+        scale: float = 1.0, *, seed: int | None = None,
+        to_completion: bool = False) -> RunResult:
+    """Run a scenario (builder, config, or registered name) to a :class:`RunResult`."""
+    from ..experiments.runner import run_scenario
+    from .session import _resolve_config
+    outcome = run_scenario(_resolve_config(scenario), scale=scale, seed=seed,
+                           to_completion=to_completion)
+    return RunResult.from_experiment(outcome)
+
+
+__all__ = [
+    "Scenario",
+    "ScenarioBuilder",
+    "ScenarioEntry",
+    "Session",
+    "RunResult",
+    "run",
+    "register_scenario",
+    "unregister_scenario",
+    "get_entry",
+    "get_scenario",
+    "iter_scenarios",
+    "scenario_names",
+    "scenario_tags",
+]

@@ -1,0 +1,311 @@
+"""Typed, fluent scenario construction.
+
+:class:`ScenarioBuilder` (exported as :data:`Scenario`) replaces the old
+``base_scenario(**kwargs)`` funnel with a discoverable, validated builder::
+
+    from repro.api import Scenario
+
+    config = (Scenario.hashchain()
+              .rate(10_000).servers(10).collector(100)
+              .delay_ms(30).byzantine(f=2)
+              .build())
+
+Builders are immutable: every setter returns a *new* builder, so a partially
+configured scenario can be forked into variants without aliasing surprises
+(the same frozen-spec discipline as the ``ExperimentConfig`` dataclasses it
+produces).  Unknown per-layer override names fail fast with a did-you-mean
+hint instead of silently constructing the wrong experiment.
+"""
+
+from __future__ import annotations
+
+import difflib
+from dataclasses import fields
+from typing import Any, Mapping
+
+from ..config import (
+    ExperimentConfig,
+    LedgerConfig,
+    SetchainConfig,
+    WorkloadConfig,
+)
+from ..errors import ConfigurationError
+
+#: Algorithms accepted by the builder — the single source of truth is the
+#: config layer, so a new algorithm is picked up here automatically.
+ALGORITHMS = ExperimentConfig._ALGORITHMS
+
+_LAYER_FIELDS: dict[str, tuple[str, ...]] = {
+    "setchain": tuple(f.name for f in fields(SetchainConfig)),
+    "ledger": tuple(f.name for f in fields(LedgerConfig)),
+    "workload": tuple(f.name for f in fields(WorkloadConfig)),
+}
+
+_TOP_FIELDS = ("ledger_backend", "drain_duration", "label")
+
+
+def _did_you_mean(unknown: str, candidates: list[str]) -> str:
+    """Format a helpful suffix naming the closest valid spellings."""
+    close = difflib.get_close_matches(unknown, candidates, n=3, cutoff=0.5)
+    if close:
+        return f"; did you mean {' or '.join(repr(c) for c in close)}?"
+    shown = sorted(candidates)
+    if len(shown) > 10:
+        return (f"; valid names include {', '.join(shown[:10])}, "
+                f"… ({len(shown)} total)")
+    return f"; valid names: {', '.join(shown)}"
+
+
+def default_label(algorithm: str, sending_rate: float, collector_limit: int,
+                  n_servers: int) -> str:
+    """The auto-derived label used when a scenario is not labelled explicitly."""
+    return f"{algorithm} rate={sending_rate:g} c={collector_limit} n={n_servers}"
+
+
+def _check_layer_overrides(layer: str, overrides: Mapping[str, Any]) -> None:
+    valid = _LAYER_FIELDS[layer]
+    for name in overrides:
+        if name not in valid:
+            raise ConfigurationError(
+                f"unknown {layer} override {name!r}"
+                + _did_you_mean(name, list(valid)))
+
+
+class ScenarioBuilder:
+    """Fluent, validated construction of :class:`~repro.config.ExperimentConfig`.
+
+    Use the per-algorithm classmethods (:meth:`hashchain`, :meth:`vanilla`, …)
+    or pass the algorithm name directly.  Every setter returns a new builder.
+    """
+
+    __slots__ = ("_algorithm", "_setchain", "_ledger", "_workload", "_top")
+
+    def __init__(self, algorithm: str = "hashchain") -> None:
+        if algorithm not in ALGORITHMS:
+            raise ConfigurationError(
+                f"unknown algorithm {algorithm!r}"
+                + _did_you_mean(algorithm, list(ALGORITHMS)))
+        self._algorithm = algorithm
+        self._setchain: dict[str, Any] = {}
+        self._ledger: dict[str, Any] = {}
+        self._workload: dict[str, Any] = {}
+        self._top: dict[str, Any] = {}
+
+    # -- construction entry points --------------------------------------------
+
+    @classmethod
+    def vanilla(cls) -> "ScenarioBuilder":
+        """The paper's Vanilla Setchain (one ledger append per element)."""
+        return cls("vanilla")
+
+    @classmethod
+    def compresschain(cls) -> "ScenarioBuilder":
+        """Compresschain: collector batches compressed before appending."""
+        return cls("compresschain")
+
+    @classmethod
+    def hashchain(cls) -> "ScenarioBuilder":
+        """Hashchain: only batch hashes go to the ledger (with hash-reversal)."""
+        return cls("hashchain")
+
+    @classmethod
+    def compresschain_light(cls) -> "ScenarioBuilder":
+        """Compresschain without decompression/validation costs."""
+        return cls("compresschain-light")
+
+    @classmethod
+    def hashchain_light(cls) -> "ScenarioBuilder":
+        """Hashchain without hash-reversal/validation costs."""
+        return cls("hashchain-light")
+
+    @classmethod
+    def from_config(cls, config: ExperimentConfig) -> "ScenarioBuilder":
+        """A builder whose :meth:`build` reproduces ``config`` exactly."""
+        builder = cls(config.algorithm)
+        defaults = (SetchainConfig(), LedgerConfig(), WorkloadConfig())
+        layers = (config.setchain, config.ledger, config.workload)
+        targets = (builder._setchain, builder._ledger, builder._workload)
+        for default, layer, target in zip(defaults, layers, targets):
+            for f in fields(layer):
+                value = getattr(layer, f.name)
+                if value != getattr(default, f.name):
+                    target[f.name] = value
+        builder._top = {"ledger_backend": config.ledger_backend,
+                        "drain_duration": config.drain_duration,
+                        "label": config.label}
+        return builder
+
+    # -- internals -------------------------------------------------------------
+
+    def _fork(self, layer: str | None = None, **overrides: Any) -> "ScenarioBuilder":
+        """Copy of this builder with ``overrides`` merged into one layer."""
+        clone = type(self)(self._algorithm)
+        clone._setchain = dict(self._setchain)
+        clone._ledger = dict(self._ledger)
+        clone._workload = dict(self._workload)
+        clone._top = dict(self._top)
+        if layer is not None:
+            getattr(clone, f"_{layer}").update(overrides)
+        return clone
+
+    def __getattr__(self, name: str) -> Any:
+        methods = [m for m in dir(type(self)) if not m.startswith("_")]
+        raise AttributeError(
+            f"ScenarioBuilder has no method {name!r}"
+            + _did_you_mean(name, methods))
+
+    def __repr__(self) -> str:
+        parts = [f"algorithm={self._algorithm!r}"]
+        for layer in ("setchain", "ledger", "workload", "top"):
+            overrides = getattr(self, f"_{layer}")
+            if overrides:
+                parts.append(f"{layer}={overrides!r}")
+        return f"Scenario({', '.join(parts)})"
+
+    # -- Table 1 knobs ---------------------------------------------------------
+
+    def rate(self, elements_per_second: float) -> "ScenarioBuilder":
+        """Total client sending rate in elements per second (Table 1)."""
+        return self._fork("workload", sending_rate=float(elements_per_second))
+
+    def servers(self, n: int) -> "ScenarioBuilder":
+        """Number of Setchain servers (Table 1's ``server_count``)."""
+        return self._fork("setchain", n_servers=int(n))
+
+    def collector(self, limit: int, timeout: float | None = None) -> "ScenarioBuilder":
+        """Collector size in elements (Table 1), optionally with flush timeout."""
+        overrides: dict[str, Any] = {"collector_limit": int(limit)}
+        if timeout is not None:
+            overrides["collector_timeout"] = float(timeout)
+        return self._fork("setchain", **overrides)
+
+    def delay_ms(self, milliseconds: float) -> "ScenarioBuilder":
+        """Artificial network delay in milliseconds (Table 1's ``network_delay``)."""
+        if milliseconds < 0:
+            raise ConfigurationError("network delay cannot be negative")
+        return self._fork("ledger", network_delay=float(milliseconds) / 1000.0)
+
+    # -- fault tolerance -------------------------------------------------------
+
+    def byzantine(self, f: int) -> "ScenarioBuilder":
+        """Tolerate up to ``f`` Byzantine servers (requires ``f < n/2``)."""
+        return self._fork("setchain", f=int(f))
+
+    # -- ledger knobs ----------------------------------------------------------
+
+    def block_size(self, size_bytes: int) -> "ScenarioBuilder":
+        """Ledger block size cap in bytes."""
+        return self._fork("ledger", block_size_bytes=int(size_bytes))
+
+    def block_rate(self, blocks_per_second: float) -> "ScenarioBuilder":
+        """Ledger block production rate (blocks per second)."""
+        return self._fork("ledger", block_rate=float(blocks_per_second))
+
+    def backend(self, name: str) -> "ScenarioBuilder":
+        """Ledger backend: ``"cometbft"`` (full consensus) or ``"ideal"``."""
+        if name not in ExperimentConfig._BACKENDS:
+            raise ConfigurationError(
+                f"unknown ledger backend {name!r}"
+                + _did_you_mean(name, list(ExperimentConfig._BACKENDS)))
+        return self._fork_top(ledger_backend=name)
+
+    # -- workload knobs --------------------------------------------------------
+
+    def inject_for(self, seconds: float) -> "ScenarioBuilder":
+        """How long clients keep adding elements (simulated seconds)."""
+        return self._fork("workload", injection_duration=float(seconds))
+
+    def drain(self, seconds: float) -> "ScenarioBuilder":
+        """Extra simulated time after injection stops."""
+        return self._fork_top(drain_duration=float(seconds))
+
+    def seed(self, value: int) -> "ScenarioBuilder":
+        """Deterministic seed for the workload generator and simulator."""
+        return self._fork("workload", seed=int(value))
+
+    def element_size(self, mean: float, std: float | None = None) -> "ScenarioBuilder":
+        """Element size distribution in bytes (defaults match the Arbitrum trace)."""
+        overrides: dict[str, Any] = {"element_size_mean": float(mean)}
+        if std is not None:
+            overrides["element_size_std"] = float(std)
+        return self._fork("workload", **overrides)
+
+    # -- implementation choices ------------------------------------------------
+
+    def signature(self, scheme: str) -> "ScenarioBuilder":
+        """Signature scheme: ``"simulated"`` (fast) or ``"ed25519"`` (real)."""
+        return self._fork("setchain", signature_scheme=str(scheme))
+
+    def compressor(self, name: str) -> "ScenarioBuilder":
+        """Compresschain codec: ``"model"`` (paper ratios) or ``"zlib"``."""
+        return self._fork("setchain", compressor=str(name))
+
+    def label(self, text: str) -> "ScenarioBuilder":
+        """Label used by reports (auto-derived when not set)."""
+        return self._fork_top(label=str(text))
+
+    # -- escape hatches: validated per-layer overrides ---------------------------
+
+    def setchain(self, **overrides: Any) -> "ScenarioBuilder":
+        """Override any :class:`SetchainConfig` field by name (validated)."""
+        _check_layer_overrides("setchain", overrides)
+        return self._fork("setchain", **overrides)
+
+    def ledger(self, **overrides: Any) -> "ScenarioBuilder":
+        """Override any :class:`LedgerConfig` field by name (validated).
+
+        ``network_delay`` is rejected here because the same keyword means
+        milliseconds in the legacy ``base_scenario`` shim but seconds in
+        :class:`LedgerConfig`; use :meth:`delay_ms` instead.
+        """
+        if "network_delay" in overrides:
+            raise ConfigurationError(
+                "set the network delay via delay_ms(milliseconds); the raw "
+                "network_delay field is ambiguous (legacy callers pass "
+                "milliseconds, LedgerConfig stores seconds)")
+        _check_layer_overrides("ledger", overrides)
+        return self._fork("ledger", **overrides)
+
+    def workload(self, **overrides: Any) -> "ScenarioBuilder":
+        """Override any :class:`WorkloadConfig` field by name (validated)."""
+        _check_layer_overrides("workload", overrides)
+        return self._fork("workload", **overrides)
+
+    def _fork_top(self, **overrides: Any) -> "ScenarioBuilder":
+        for name in overrides:
+            if name not in _TOP_FIELDS:  # pragma: no cover - internal misuse
+                raise ConfigurationError(f"unknown experiment field {name!r}")
+        clone = self._fork()
+        clone._top.update(overrides)
+        return clone
+
+    # -- terminal operations ---------------------------------------------------
+
+    def build(self) -> ExperimentConfig:
+        """Materialise the validated, frozen :class:`ExperimentConfig`."""
+        setchain = SetchainConfig(**self._setchain)
+        ledger = LedgerConfig(**self._ledger)
+        workload = WorkloadConfig(**self._workload)
+        top = dict(self._top)
+        label = top.pop("label", "") or default_label(
+            self._algorithm, workload.sending_rate,
+            setchain.collector_limit, setchain.n_servers)
+        return ExperimentConfig(algorithm=self._algorithm, setchain=setchain,
+                                ledger=ledger, workload=workload, label=label,
+                                **top)
+
+    def run(self, scale: float = 1.0, *, seed: int | None = None,
+            to_completion: bool = False):
+        """Build and run this scenario; returns a serialisable :class:`RunResult`."""
+        from . import run
+        return run(self.build(), scale=scale, seed=seed,
+                   to_completion=to_completion)
+
+    def session(self, scale: float = 1.0, *, seed: int | None = None):
+        """Build a :class:`~repro.api.session.Session` for interactive use."""
+        from .session import Session
+        return Session(self.build(), scale=scale, seed=seed)
+
+
+#: The public spelling used in docs and examples: ``Scenario.hashchain()...``.
+Scenario = ScenarioBuilder

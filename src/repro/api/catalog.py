@@ -1,0 +1,158 @@
+"""The built-in scenario catalog.
+
+Importing this module — done lazily by the registry on its first access, see
+``registry._ensure_catalog`` — populates the registry with:
+
+* ``base`` — the paper's base evaluation point;
+* ``table1/...`` — the full Table 1 parameter grid for every algorithm;
+* ``figure1/...``, ``figure2/...``, ``figure4/...`` — each figure's scenario
+  set from the evaluation section;
+* ``stress/...`` — saturation scenarios past the analytical ceilings;
+* ``byzantine/...`` — runs with an explicit Byzantine tolerance ``f``;
+* ``burst/...`` — short high-rate injection spikes with long drains;
+* ``quickstart`` / ``smoke`` — small scenarios that finish in seconds.
+
+The Table 1 and figure entries capture configs built once here, at catalog
+import, because both are derived from the grid enumerations the experiment
+harness itself uses (``config.table1_grid``, ``experiments.scenarios``) —
+building all ~200 frozen configs costs a few milliseconds, paid once.
+"""
+
+from __future__ import annotations
+
+from ..config import table1_grid
+from ..experiments.scenarios import (
+    figure1_scenarios,
+    figure2_left_scenarios,
+    figure4_scenarios,
+)
+from .builder import Scenario
+from .registry import register_scenario
+
+# -- base point ---------------------------------------------------------------
+
+register_scenario(
+    "base", tags=("paper", "base"),
+    description="Paper base point: hashchain, 10 servers, 10k el/s, no delay",
+)(lambda: Scenario.hashchain())
+
+
+# -- Table 1 grid -------------------------------------------------------------
+# Derived from config.table1_grid() — the same enumeration the sweep harness
+# uses — so the registry names can never drift from the grid definition.
+
+def _register_table1_grid() -> None:
+    for config in table1_grid():
+        algorithm = config.algorithm
+        rate = config.workload.sending_rate
+        servers = config.setchain.n_servers
+        delay = config.ledger.network_delay * 1000.0
+        collector = config.setchain.collector_limit
+        name = f"table1/{algorithm}/r{rate:g}-n{servers}-d{delay:g}"
+        description = (f"Table 1: {algorithm}, {rate:g} el/s, "
+                       f"{servers} servers, {delay:g} ms delay")
+        if algorithm != "vanilla":
+            name += f"-c{collector}"
+            description += f", collector {collector}"
+        register_scenario(
+            name, tags=("paper", "table1", algorithm),
+            description=description,
+        )(lambda c=config: c)
+
+
+_register_table1_grid()
+
+
+# -- figure scenario sets -----------------------------------------------------
+# Derived from the experiment harness's own grids (experiments/scenarios.py)
+# so the CLI and the figure regenerators can never drift apart.
+
+def _register_figures() -> None:
+    for panel, configs in figure1_scenarios().items():
+        for config in configs:
+            register_scenario(
+                f"figure1/{panel}/{config.algorithm}",
+                tags=("paper", "figure1", config.algorithm),
+                description=f"Fig. 1 {panel}: {config.label}",
+            )(lambda c=config: c)
+    for config in figure2_left_scenarios():
+        register_scenario(
+            f"figure2/{config.algorithm}",
+            tags=("paper", "figure2", config.algorithm),
+            description=f"Fig. 2 left: {config.label}",
+        )(lambda c=config: c)
+    for config in figure4_scenarios():
+        register_scenario(
+            f"figure4/{config.algorithm}",
+            tags=("paper", "figure4", config.algorithm),
+            description=f"Fig. 4 latency CDF: {config.label}",
+        )(lambda c=config: c)
+
+
+_register_figures()
+
+
+# -- stress -------------------------------------------------------------------
+
+register_scenario(
+    "stress/hashchain-2x-ceiling", tags=("stress", "hashchain"),
+    description="Hashchain at 40k el/s, twice the hash-reversal ceiling",
+)(lambda: Scenario.hashchain().rate(40_000).collector(500))
+
+register_scenario(
+    "stress/vanilla-overload", tags=("stress", "vanilla"),
+    description="Vanilla at 20k el/s, far past its block-bandwidth bound",
+)(lambda: Scenario.vanilla().rate(20_000))
+
+register_scenario(
+    "stress/tiny-blocks", tags=("stress", "hashchain"),
+    description="Hashchain with 64 KiB blocks: ledger bandwidth as bottleneck",
+)(lambda: Scenario.hashchain().rate(10_000).block_size(64 * 1024))
+
+
+# -- byzantine tolerance ------------------------------------------------------
+
+register_scenario(
+    "byzantine/f1-n4", tags=("byzantine", "hashchain"),
+    description="4 hashchain servers tolerating f=1 (quorum 2)",
+)(lambda: Scenario.hashchain().servers(4).byzantine(f=1).rate(1_000))
+
+register_scenario(
+    "byzantine/f4-n10", tags=("byzantine", "hashchain"),
+    description="10 hashchain servers at the maximum f=4 (quorum 5)",
+)(lambda: Scenario.hashchain().servers(10).byzantine(f=4))
+
+register_scenario(
+    "byzantine/f0-trusted", tags=("byzantine", "compresschain"),
+    description="Fully trusted 7-server compresschain cluster (f=0, quorum 1)",
+)(lambda: Scenario.compresschain().servers(7).byzantine(f=0))
+
+
+# -- burst workloads ----------------------------------------------------------
+
+register_scenario(
+    "burst/spike-5s", tags=("burst", "hashchain"),
+    description="5-second 50k el/s spike into hashchain, then a long drain",
+)(lambda: Scenario.hashchain().rate(50_000).collector(500)
+  .inject_for(5).drain(145))
+
+register_scenario(
+    "burst/spike-10s-compresschain", tags=("burst", "compresschain"),
+    description="10-second 20k el/s spike into compresschain, collector 500",
+)(lambda: Scenario.compresschain().rate(20_000).collector(500)
+  .inject_for(10).drain(140))
+
+
+# -- small, fast scenarios ----------------------------------------------------
+
+register_scenario(
+    "quickstart", tags=("demo",),
+    description="4-server hashchain, 200 el/s for 10 s — the examples/ scenario",
+)(lambda: Scenario.hashchain().servers(4).rate(200).collector(25)
+  .inject_for(10).drain(60))
+
+register_scenario(
+    "smoke", tags=("demo", "ci"),
+    description="Minimal 4-server run over the ideal ledger; finishes in ~1 s",
+)(lambda: Scenario.hashchain().servers(4).rate(100).collector(10)
+  .inject_for(5).drain(30).backend("ideal"))

@@ -1,0 +1,177 @@
+"""The ``python -m repro`` command line.
+
+Subcommands:
+
+* ``list-scenarios`` — enumerate the registry (filter by ``--tag`` /
+  ``--contains``, machine-readable with ``--json``);
+* ``run`` — run one registered scenario, print its summary, and optionally
+  persist the :class:`RunResult` as a JSON artifact;
+* ``sweep`` — run every scenario matching a filter and write one JSON
+  artifact per run into an output directory;
+* ``report`` — re-render saved :class:`RunResult` JSON artifacts as the
+  standard summary table, without re-running anything.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from ..analysis.report import render_table
+from ..errors import ReproError
+from .registry import iter_scenarios, scenario_tags
+from .results import SUMMARY_HEADERS, RunResult
+
+
+def _non_negative_int(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError("must be >= 0")
+    return value
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Run and inspect Setchain reproduction scenarios.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    list_p = sub.add_parser("list-scenarios",
+                            help="enumerate registered scenarios")
+    list_p.add_argument("--tag", help="only scenarios carrying this tag")
+    list_p.add_argument("--contains", help="only names containing this substring")
+    list_p.add_argument("--json", action="store_true",
+                        help="emit one JSON object per line")
+
+    run_p = sub.add_parser("run", help="run one registered scenario")
+    run_p.add_argument("name", help="registered scenario name (see list-scenarios)")
+    _add_run_options(run_p)
+    run_p.add_argument("--json", metavar="PATH",
+                       help="write the RunResult JSON artifact here")
+
+    sweep_p = sub.add_parser("sweep",
+                             help="run every scenario matching a filter")
+    sweep_p.add_argument("--tag", help="scenarios carrying this tag")
+    sweep_p.add_argument("--contains", help="names containing this substring")
+    _add_run_options(sweep_p)
+    sweep_p.add_argument("--out", metavar="DIR", default="results",
+                         help="directory for RunResult JSON artifacts "
+                              "(default: results/)")
+    sweep_p.add_argument("--limit", type=_non_negative_int, default=None,
+                         help="run at most this many scenarios")
+
+    report_p = sub.add_parser("report",
+                              help="summarise saved RunResult JSON files")
+    report_p.add_argument("files", nargs="+", metavar="JSON",
+                          help="RunResult artifacts produced by run/sweep")
+
+    return parser
+
+
+def _add_run_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="down-scale factor (divides rate/block size, "
+                             "preserves ratios; default 1)")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="override the simulator/workload seed")
+    parser.add_argument("--to-completion", action="store_true",
+                        help="run past the horizon until all elements commit")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress the per-run summary")
+
+
+def _run_one(name: str, args: argparse.Namespace) -> RunResult:
+    from . import run
+    return run(name, scale=args.scale, seed=args.seed,
+               to_completion=args.to_completion)
+
+
+def _print_summary(result: RunResult) -> None:
+    print(f"scenario : {result.label}")
+    print(f"  injected / committed : {result.injected} / {result.committed}"
+          f" ({result.committed_fraction:.1%})")
+    print(f"  avg throughput (50s) : {result.avg_throughput_50s:.1f} el/s")
+    print(f"  analytical bound     : {result.analytical_throughput:.0f} el/s")
+    print(f"  efficiency 50/75/100 : {result.efficiency['50s']:.3f} / "
+          f"{result.efficiency['75s']:.3f} / {result.efficiency['100s']:.3f}")
+    if result.first_commit is not None:
+        print(f"  first commit         : {result.first_commit:.2f} s")
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    entries = iter_scenarios(tag=args.tag, contains=args.contains)
+    if args.json:
+        for entry in entries:
+            print(json.dumps({"name": entry.name,
+                              "description": entry.description,
+                              "tags": sorted(entry.tags)}))
+        return 0
+    if not entries:
+        print("no scenarios match", file=sys.stderr)
+        return 1
+    rows = [[entry.name, ",".join(sorted(entry.tags)), entry.description]
+            for entry in entries]
+    print(render_table(["name", "tags", "description"], rows))
+    print(f"\n{len(entries)} scenarios; tags: {', '.join(scenario_tags())}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    result = _run_one(args.name, args)
+    if not args.quiet:
+        _print_summary(result)
+    if args.json:
+        path = result.save(args.json)
+        if not args.quiet:
+            print(f"  wrote {path}")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    entries = iter_scenarios(tag=args.tag, contains=args.contains)
+    if not entries:
+        print("no scenarios match the sweep filter", file=sys.stderr)
+        return 1
+    if args.limit is not None:
+        entries = entries[:args.limit]
+    if not entries:
+        print("nothing to run (--limit 0)", file=sys.stderr)
+        return 0
+    out_dir = Path(args.out)
+    for index, entry in enumerate(entries, start=1):
+        if not args.quiet:
+            print(f"[{index}/{len(entries)}] {entry.name}")
+        result = _run_one(entry.name, args)
+        path = result.save(out_dir / (entry.name.replace("/", "__") + ".json"))
+        if not args.quiet:
+            _print_summary(result)
+            print(f"  wrote {path}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    results = [RunResult.load(path) for path in args.files]
+    rows = [[r.label] + r.summary_row()[1:] for r in results]
+    headers = ("scenario",) + SUMMARY_HEADERS[1:]
+    print(render_table(list(headers), rows))
+    return 0
+
+
+_COMMANDS = {
+    "list-scenarios": _cmd_list,
+    "run": _cmd_run,
+    "sweep": _cmd_sweep,
+    "report": _cmd_report,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except (ReproError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1

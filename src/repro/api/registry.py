@@ -1,0 +1,183 @@
+"""Named-scenario registry.
+
+Scenarios are registered as factories (a zero-argument callable returning a
+:class:`ScenarioBuilder` or a built ``ExperimentConfig``); the built-in
+catalog — several hundred Table 1 grid points plus figure/stress sets — is
+loaded once, on the first registry access (a few milliseconds)::
+
+    from repro.api import register_scenario, get_scenario, scenario_names
+
+    @register_scenario("my/slow-lan", tags=("custom",),
+                       description="base point over a 100 ms WAN")
+    def _slow_lan():
+        return Scenario.hashchain().delay_ms(100)
+
+    config = get_scenario("my/slow-lan")
+    scenario_names(tag="custom")  # -> ["my/slow-lan"]
+
+Lookup failures raise :class:`~repro.errors.ConfigurationError` with a
+did-you-mean hint, the same contract as the builder.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from ..config import ExperimentConfig
+from ..errors import ConfigurationError
+from .builder import ScenarioBuilder, _did_you_mean, default_label
+
+#: A factory producing either a builder or a finished config.
+ScenarioFactory = Callable[[], "ScenarioBuilder | ExperimentConfig"]
+
+
+@dataclass(frozen=True)
+class ScenarioEntry:
+    """One named scenario: a lazy factory plus discovery metadata."""
+
+    name: str
+    factory: ScenarioFactory
+    description: str = ""
+    tags: frozenset[str] = field(default_factory=frozenset)
+
+    def build(self) -> ExperimentConfig:
+        """Materialise the scenario's :class:`ExperimentConfig`.
+
+        Scenarios the factory left unlabelled (empty label, or exactly the
+        builder's auto-derived default) are relabelled with the registry name;
+        explicit labels are kept.
+        """
+        produced = self.factory()
+        if isinstance(produced, ScenarioBuilder):
+            produced = produced.build()
+        if not isinstance(produced, ExperimentConfig):
+            raise ConfigurationError(
+                f"scenario {self.name!r} factory returned "
+                f"{type(produced).__name__}, expected a Scenario builder or "
+                "ExperimentConfig")
+        auto_label = default_label(produced.algorithm,
+                                   produced.workload.sending_rate,
+                                   produced.setchain.collector_limit,
+                                   produced.setchain.n_servers)
+        if produced.label in ("", auto_label):
+            produced = produced.with_overrides(label=self.name)
+        return produced
+
+    def matches(self, tag: str | None = None, contains: str | None = None) -> bool:
+        if tag is not None and tag not in self.tags:
+            return False
+        if contains is not None and contains not in self.name:
+            return False
+        return True
+
+
+_REGISTRY: dict[str, ScenarioEntry] = {}
+
+_catalog_loaded = False
+_catalog_loading = False
+
+
+def _ensure_catalog() -> None:
+    """Populate the built-in catalog on first registry access.
+
+    Deferred (rather than imported by ``repro.api``) because the catalog
+    derives its figure entries from ``repro.experiments.scenarios``, which
+    itself builds scenarios through this package — importing it eagerly
+    would create an import cycle.
+    """
+    global _catalog_loaded, _catalog_loading
+    if _catalog_loaded or _catalog_loading:
+        return
+    partial = sys.modules.get(__name__.rsplit(".", 1)[0] + ".catalog")
+    if partial is not None and getattr(getattr(partial, "__spec__", None),
+                                       "_initializing", False):
+        # The catalog is being imported directly (``import repro.api.catalog``);
+        # its own register_scenario calls re-enter here and must not latch the
+        # loaded flag before the module finishes executing.
+        return
+    registered_before = set(_REGISTRY)
+    _catalog_loading = True
+    try:
+        from . import catalog  # noqa: F401  (imported for its side effect)
+    except BaseException:
+        # Roll back partial registrations so the retry re-raises the real
+        # import error rather than a misleading "already registered".
+        for name in set(_REGISTRY) - registered_before:
+            del _REGISTRY[name]
+        raise
+    finally:
+        _catalog_loading = False
+    _catalog_loaded = True
+
+
+def register_scenario(name: str, *, description: str = "",
+                      tags: Iterable[str] = (), replace: bool = False):
+    """Decorator registering a scenario factory under ``name``.
+
+    Also usable imperatively: ``register_scenario("x")(factory)``.
+    """
+    if not name:
+        raise ConfigurationError("scenario name cannot be empty")
+
+    def decorator(factory: ScenarioFactory) -> ScenarioFactory:
+        # Load the built-in catalog first so a clash with a catalog name is
+        # reported here, at the user's registration site, instead of wedging
+        # every later lookup.  (No-op while the catalog itself registers.)
+        _ensure_catalog()
+        if name in _REGISTRY and not replace:
+            raise ConfigurationError(
+                f"scenario {name!r} is already registered "
+                "(pass replace=True to overwrite)")
+        _REGISTRY[name] = ScenarioEntry(name=name, factory=factory,
+                                        description=description,
+                                        tags=frozenset(tags))
+        return factory
+
+    return decorator
+
+
+def unregister_scenario(name: str) -> None:
+    """Remove a registered scenario (primarily for tests)."""
+    _ensure_catalog()  # so removing a built-in name sticks in a fresh process
+    _REGISTRY.pop(name, None)
+
+
+def get_entry(name: str) -> ScenarioEntry:
+    """The :class:`ScenarioEntry` for ``name`` (did-you-mean on miss)."""
+    _ensure_catalog()
+    entry = _REGISTRY.get(name)
+    if entry is None:
+        raise ConfigurationError(
+            f"unknown scenario {name!r}"
+            + _did_you_mean(name, list(_REGISTRY)))
+    return entry
+
+
+def get_scenario(name: str) -> ExperimentConfig:
+    """Build the registered scenario ``name``."""
+    return get_entry(name).build()
+
+
+def iter_scenarios(tag: str | None = None,
+                   contains: str | None = None) -> list[ScenarioEntry]:
+    """Registered entries, optionally filtered by tag and/or name substring."""
+    _ensure_catalog()
+    return [entry for name, entry in sorted(_REGISTRY.items())
+            if entry.matches(tag=tag, contains=contains)]
+
+
+def scenario_names(tag: str | None = None,
+                   contains: str | None = None) -> list[str]:
+    """Sorted names of registered scenarios matching the filters."""
+    return [entry.name for entry in iter_scenarios(tag=tag, contains=contains)]
+
+
+def scenario_tags() -> list[str]:
+    """Every tag used by at least one registered scenario, sorted."""
+    _ensure_catalog()
+    tags: set[str] = set()
+    for entry in _REGISTRY.values():
+        tags.update(entry.tags)
+    return sorted(tags)

@@ -1,0 +1,190 @@
+"""Interactive sessions over a deployment.
+
+:class:`Session` is the incremental counterpart to the batch runner: it
+builds the same :class:`~repro.core.deployment.Deployment` a scenario run
+would use, but hands control of simulated time to the caller — start the
+cluster, step the simulator, inject individual elements, inspect
+``SetchainView`` snapshots and per-server backlog mid-run, and finally
+package the standard analyses as a serialisable :class:`RunResult`::
+
+    with Scenario.hashchain().servers(4).rate(200).session() as session:
+        session.run_for(10.0)
+        print(session.backlog(), session.committed_fraction)
+        session.inject(size_bytes=438)
+        session.run_to_completion()
+        result = session.result()
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..config import ExperimentConfig
+from ..core.deployment import Deployment, build_deployment
+from ..errors import ConfigurationError, SetchainError, SimulationError
+from ..workload.elements import Element, make_element
+from .builder import ScenarioBuilder
+from .results import RunResult
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.types import SetchainView
+
+
+def _resolve_config(scenario: "ScenarioBuilder | ExperimentConfig | str") -> ExperimentConfig:
+    """Accept a builder, a finished config, or a registry name."""
+    if isinstance(scenario, ScenarioBuilder):
+        return scenario.build()
+    if isinstance(scenario, ExperimentConfig):
+        return scenario
+    if isinstance(scenario, str):
+        from .registry import get_scenario
+        return get_scenario(scenario)
+    raise ConfigurationError(
+        f"cannot build a session from {type(scenario).__name__}; expected a "
+        "Scenario builder, ExperimentConfig, or registered scenario name")
+
+
+class Session:
+    """A started-on-demand deployment with incremental control of sim time."""
+
+    def __init__(self, scenario: "ScenarioBuilder | ExperimentConfig | str",
+                 *, scale: float = 1.0, seed: int | None = None) -> None:
+        from ..experiments.runner import scaled_config
+        self.config = scaled_config(_resolve_config(scenario), scale)
+        self.scale = scale
+        self.deployment: Deployment = build_deployment(self.config, seed=seed)
+        self._started = False
+        self._injected_by_hand = 0
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self) -> "Session":
+        """Start ledger block production, servers, and client injection."""
+        if self._started:
+            raise SimulationError("session already started")
+        self.deployment.start()
+        self._started = True
+        return self
+
+    @property
+    def started(self) -> bool:
+        return self._started
+
+    def __enter__(self) -> "Session":
+        if not self._started:
+            self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+    def _require_started(self) -> None:
+        if not self._started:
+            raise SimulationError("session not started; call start() or use "
+                                  "the session as a context manager")
+
+    # -- advancing simulated time ----------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time (seconds)."""
+        return self.deployment.sim.now
+
+    def step(self) -> bool:
+        """Process exactly one simulation event; False when none are pending."""
+        self._require_started()
+        return self.deployment.sim.step()
+
+    def run_for(self, duration: float) -> "Session":
+        """Advance simulated time by ``duration`` seconds."""
+        if duration < 0:
+            raise ConfigurationError("duration cannot be negative")
+        return self.run_until(self.now + duration)
+
+    def run_until(self, time: float) -> "Session":
+        """Advance simulated time up to the absolute instant ``time``."""
+        self._require_started()
+        self.deployment.sim.run_until(time)
+        return self
+
+    def run(self) -> "Session":
+        """Run to the scenario's configured horizon (injection + drain)."""
+        self._require_started()
+        self.deployment.run()
+        return self
+
+    def run_to_completion(self, extra_time: float = 200.0) -> "Session":
+        """Run past the horizon until every injected element commits."""
+        self._require_started()
+        self.deployment.run_to_completion(extra_time=extra_time)
+        return self
+
+    # -- injecting work --------------------------------------------------------
+
+    def inject(self, size_bytes: int | None = None, *, client: str = "session",
+               server: int = 0, element: Element | None = None) -> Element:
+        """Add one element to a server, with the same bookkeeping as clients.
+
+        Either pass a ready-made ``element`` or let the session create one of
+        ``size_bytes`` (defaults to the scenario's mean element size).
+        """
+        self._require_started()
+        servers = self.deployment.servers
+        if not 0 <= server < len(servers):
+            raise ConfigurationError(
+                f"server index {server} out of range for {len(servers)} servers")
+        if element is None:
+            size = size_bytes if size_bytes is not None else int(
+                self.config.workload.element_size_mean)
+            element = make_element(client=client, size_bytes=size,
+                                   created_at=self.now)
+        if not servers[server].add(element):
+            raise SetchainError(
+                f"server {servers[server].name} rejected the element "
+                "(duplicate or invalid); it was not recorded as injected")
+        self.deployment.injected_elements.append(element)
+        self.deployment.metrics.record_injected(element, self.now)
+        self._injected_by_hand += 1
+        return element
+
+    # -- inspection ------------------------------------------------------------
+
+    def views(self) -> dict[str, "SetchainView"]:
+        """``get()`` snapshots of every server, keyed by server name."""
+        return self.deployment.views()
+
+    def view(self, server: int | str = 0) -> "SetchainView":
+        """One server's ``get()`` snapshot, by index or name."""
+        for index, candidate in enumerate(self.deployment.servers):
+            if server == index or server == candidate.name:
+                return candidate.get()
+        raise ConfigurationError(f"no server {server!r} in this deployment")
+
+    def backlog(self) -> dict[str, int]:
+        """Pending block-processing work items per server (stress indicator)."""
+        return {s.name: s.backlog for s in self.deployment.servers}
+
+    @property
+    def injected_count(self) -> int:
+        return len(self.deployment.injected_elements)
+
+    @property
+    def committed_count(self) -> int:
+        return self.deployment.metrics.committed_count
+
+    @property
+    def committed_fraction(self) -> float:
+        return self.deployment.committed_fraction
+
+    def check_properties(self, include_liveness: bool = True):
+        """Run the Setchain Property 1-8 checkers over the current views."""
+        return self.deployment.check_properties(include_liveness=include_liveness)
+
+    # -- results ---------------------------------------------------------------
+
+    def result(self) -> RunResult:
+        """Package the standard analyses for the run so far."""
+        from ..experiments.runner import package_result
+        self._require_started()
+        return RunResult.from_experiment(
+            package_result(self.deployment, scale=self.scale))

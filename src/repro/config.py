@@ -200,33 +200,43 @@ class ExperimentConfig:
 def base_scenario(algorithm: str = "hashchain", **kwargs: object) -> ExperimentConfig:
     """The paper's base scenario: 10 servers, 10,000 el/s, no network delay.
 
+    .. deprecated::
+        This is a thin shim over :class:`repro.api.Scenario`; prefer the
+        builder (``Scenario.hashchain().rate(...).build()``) in new code.
+
     Keyword overrides are applied to the nested configs by name:
-    ``sending_rate``, ``collector_limit``, ``n_servers``, ``network_delay``
-    (milliseconds, matching Table 1), ``block_size_bytes``, ``injection_duration``.
+    ``sending_rate``, ``collector_limit``, ``n_servers``, ``network_delay_ms``
+    (milliseconds, matching Table 1; the spelling ``network_delay`` is also
+    accepted), ``block_size_bytes``, ``injection_duration``, ``seed``,
+    ``label``, ``ledger_backend``, ``drain_duration``.
     """
-    sending_rate = float(kwargs.pop("sending_rate", 10_000.0))
-    collector_limit = int(kwargs.pop("collector_limit", 100))
-    n_servers = int(kwargs.pop("n_servers", 10))
-    network_delay_ms = float(kwargs.pop("network_delay_ms", 0.0))
-    block_size = int(kwargs.pop("block_size_bytes", DEFAULT_BLOCK_SIZE))
-    injection = float(kwargs.pop("injection_duration", DEFAULT_INJECTION_DURATION))
-    seed = int(kwargs.pop("seed", 0))
-    label = str(kwargs.pop("label", ""))
-    ledger_backend = str(kwargs.pop("ledger_backend", "cometbft"))
-    drain = float(kwargs.pop("drain_duration", 100.0))
-    if kwargs:
-        raise ConfigurationError(f"unknown scenario overrides: {sorted(kwargs)}")
-    return ExperimentConfig(
-        algorithm=algorithm,
-        setchain=SetchainConfig(n_servers=n_servers, collector_limit=collector_limit),
-        ledger=LedgerConfig(block_size_bytes=block_size,
-                            network_delay=network_delay_ms / 1000.0),
-        workload=WorkloadConfig(sending_rate=sending_rate,
-                                injection_duration=injection, seed=seed),
-        ledger_backend=ledger_backend,
-        drain_duration=drain,
-        label=label or f"{algorithm} rate={sending_rate:g} c={collector_limit} n={n_servers}",
-    )
+    from .api.builder import ScenarioBuilder
+
+    builder = ScenarioBuilder(algorithm)
+    if "network_delay" in kwargs and "network_delay_ms" in kwargs:
+        raise ConfigurationError(
+            "pass either network_delay or network_delay_ms, not both")
+    delay_ms = kwargs.pop("network_delay_ms", kwargs.pop("network_delay", None))
+    if delay_ms is not None:
+        builder = builder.delay_ms(float(delay_ms))  # type: ignore[arg-type]
+
+    setters = {
+        "sending_rate": "rate",
+        "collector_limit": "collector",
+        "n_servers": "servers",
+        "block_size_bytes": "block_size",
+        "injection_duration": "inject_for",
+        "seed": "seed",
+        "label": "label",
+        "ledger_backend": "backend",
+        "drain_duration": "drain",
+    }
+    unknown = sorted(set(kwargs) - set(setters))
+    if unknown:
+        raise ConfigurationError(f"unknown scenario overrides: {unknown}")
+    for name, value in kwargs.items():
+        builder = getattr(builder, setters[name])(value)
+    return builder.build()
 
 
 def table1_grid() -> Sequence[ExperimentConfig]:

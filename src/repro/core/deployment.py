@@ -58,9 +58,13 @@ class Deployment:
         self.clients.start()
 
     def run(self, until: float | None = None) -> None:
-        """Run the simulation for the configured experiment duration."""
+        """Run the simulation for the configured experiment duration.
+
+        A no-op when simulated time is already past the horizon, so
+        :meth:`run_to_completion` works from any point in a run.
+        """
         horizon = until if until is not None else self.config.total_duration
-        self.sim.run_until(horizon)
+        self.sim.run_until(max(horizon, self.sim.now))
 
     def run_to_completion(self, extra_time: float = 200.0,
                           poll: float = 1.0) -> None:

@@ -77,12 +77,12 @@ class ExperimentResult:
                                quorum=self.config.setchain.quorum)
 
     def summary_row(self) -> list[object]:
-        """One row for the report tables."""
-        return [self.config.algorithm, f"{self.sending_rate:g}",
-                self.config.setchain.collector_limit,
-                round(self.avg_throughput_50s, 1),
-                round(self.efficiency.at_50, 3),
-                round(self.efficiency.at_100, 3)]
+        """One row for the report tables (schema shared with ``RunResult``)."""
+        from ..api.results import summary_row
+        return summary_row(self.config.algorithm, self.sending_rate,
+                           self.config.setchain.collector_limit,
+                           self.avg_throughput_50s,
+                           self.efficiency.at_50, self.efficiency.at_100)
 
 
 def analytical_reference(config: ExperimentConfig) -> float:
@@ -102,19 +102,18 @@ def analytical_reference(config: ExperimentConfig) -> float:
     return throughput_for(config.algorithm, params)
 
 
-def run_scenario(config: ExperimentConfig, scale: float = 1.0,
-                 to_completion: bool = False, horizon: float | None = None,
-                 seed: int | None = None) -> ExperimentResult:
-    """Run one scenario (optionally scaled) and package the standard analyses."""
-    effective = scaled_config(config, scale)
-    deployment = run_experiment(effective, seed=seed, to_completion=to_completion)
-    if horizon is not None and deployment.sim.now < horizon:
-        deployment.run(until=horizon)
+def package_result(deployment: Deployment, scale: float = 1.0) -> ExperimentResult:
+    """Package the standard analyses for an already-run deployment.
+
+    Used by :func:`run_scenario` after a batch run and by
+    :class:`repro.api.Session` to snapshot results mid-run.
+    """
+    effective = deployment.config
     metrics = deployment.metrics
     commit_times = metrics.commit_times()
     throughput = rolling_throughput(commit_times,
                                     horizon=deployment.sim.now)
-    result = ExperimentResult(
+    return ExperimentResult(
         config=effective,
         scale=scale,
         deployment=deployment,
@@ -128,4 +127,14 @@ def run_scenario(config: ExperimentConfig, scale: float = 1.0,
                                            label=effective.label),
         analytical_throughput=analytical_reference(effective),
     )
-    return result
+
+
+def run_scenario(config: ExperimentConfig, scale: float = 1.0,
+                 to_completion: bool = False, horizon: float | None = None,
+                 seed: int | None = None) -> ExperimentResult:
+    """Run one scenario (optionally scaled) and package the standard analyses."""
+    effective = scaled_config(config, scale)
+    deployment = run_experiment(effective, seed=seed, to_completion=to_completion)
+    if horizon is not None and deployment.sim.now < horizon:
+        deployment.run(until=horizon)
+    return package_result(deployment, scale=scale)

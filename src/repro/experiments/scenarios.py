@@ -1,15 +1,27 @@
-"""Named scenarios matching the paper's evaluation section."""
+"""Named scenarios matching the paper's evaluation section.
+
+These grids are expressed through the typed :class:`repro.api.Scenario`
+builder; the same scenario sets are also individually registered by name in
+:mod:`repro.api.catalog` for CLI use (``python -m repro list-scenarios``).
+"""
 
 from __future__ import annotations
 
+from ..api.builder import Scenario
 from ..config import (
     ExperimentConfig,
     TABLE1_COLLECTOR_LIMITS,
     TABLE1_NETWORK_DELAYS_MS,
     TABLE1_SENDING_RATES,
     TABLE1_SERVER_COUNTS,
-    base_scenario,
 )
+
+
+def _point(algorithm: str, *, rate: float = 10_000, collector: int = 100,
+           servers: int = 10, delay_ms: float = 0, label: str) -> ExperimentConfig:
+    """One evaluation grid point around the paper's base scenario."""
+    return (Scenario(algorithm).rate(rate).collector(collector)
+            .servers(servers).delay_ms(delay_ms).label(label).build())
 
 
 def figure1_scenarios() -> dict[str, list[ExperimentConfig]]:
@@ -20,9 +32,8 @@ def figure1_scenarios() -> dict[str, list[ExperimentConfig]]:
     * right  — sending rate 10,000 el/s, collector 500, Compresschain & Hashchain.
     """
     def configs(rate: float, collector: int, algorithms: list[str]) -> list[ExperimentConfig]:
-        return [base_scenario(a, sending_rate=rate, collector_limit=collector,
-                              n_servers=10, network_delay_ms=0,
-                              label=f"fig1 {a} rate={rate:g} c={collector}")
+        return [_point(a, rate=rate, collector=collector,
+                       label=f"fig1 {a} rate={rate:g} c={collector}")
                 for a in algorithms]
 
     return {
@@ -40,16 +51,15 @@ def figure2_left_scenarios() -> list[ExperimentConfig]:
     Compresschain / Compresschain-light / Vanilla saturation points.
     """
     return [
-        base_scenario("hashchain", sending_rate=25_000, collector_limit=500,
-                      label="fig2 hashchain (hash-reversal)"),
-        base_scenario("hashchain-light", sending_rate=150_000, collector_limit=500,
-                      label="fig2 hashchain light"),
-        base_scenario("compresschain", sending_rate=10_000, collector_limit=500,
-                      label="fig2 compresschain"),
-        base_scenario("compresschain-light", sending_rate=10_000, collector_limit=500,
-                      label="fig2 compresschain light"),
-        base_scenario("vanilla", sending_rate=5_000,
-                      label="fig2 vanilla"),
+        Scenario.hashchain().rate(25_000).collector(500)
+        .label("fig2 hashchain (hash-reversal)").build(),
+        Scenario.hashchain_light().rate(150_000).collector(500)
+        .label("fig2 hashchain light").build(),
+        Scenario.compresschain().rate(10_000).collector(500)
+        .label("fig2 compresschain").build(),
+        Scenario.compresschain_light().rate(10_000).collector(500)
+        .label("fig2 compresschain light").build(),
+        Scenario.vanilla().rate(5_000).label("fig2 vanilla").build(),
     ]
 
 
@@ -62,13 +72,12 @@ def figure3a_grid() -> list[ExperimentConfig]:
     """Fig. 3a: efficiency vs sending rate for every algorithm/collector combo."""
     configs: list[ExperimentConfig] = []
     for rate in sorted(TABLE1_SENDING_RATES):
-        configs.append(base_scenario("vanilla", sending_rate=rate,
-                                     label=f"fig3a vanilla rate={rate}"))
+        configs.append(_point("vanilla", rate=rate,
+                              label=f"fig3a vanilla rate={rate}"))
         for collector in TABLE1_COLLECTOR_LIMITS:
             for algorithm in ("compresschain", "hashchain"):
-                configs.append(base_scenario(algorithm, sending_rate=rate,
-                                             collector_limit=collector,
-                                             label=f"fig3a {algorithm} c={collector} rate={rate}"))
+                configs.append(_point(algorithm, rate=rate, collector=collector,
+                                      label=f"fig3a {algorithm} c={collector} rate={rate}"))
     return configs
 
 
@@ -76,13 +85,12 @@ def figure3b_grid() -> list[ExperimentConfig]:
     """Fig. 3b: efficiency vs number of servers at 10,000 el/s."""
     configs: list[ExperimentConfig] = []
     for servers in TABLE1_SERVER_COUNTS:
-        configs.append(base_scenario("vanilla", n_servers=servers,
-                                     label=f"fig3b vanilla n={servers}"))
+        configs.append(_point("vanilla", servers=servers,
+                              label=f"fig3b vanilla n={servers}"))
         for collector in TABLE1_COLLECTOR_LIMITS:
             for algorithm in ("compresschain", "hashchain"):
-                configs.append(base_scenario(algorithm, n_servers=servers,
-                                             collector_limit=collector,
-                                             label=f"fig3b {algorithm} c={collector} n={servers}"))
+                configs.append(_point(algorithm, servers=servers, collector=collector,
+                                      label=f"fig3b {algorithm} c={collector} n={servers}"))
     return configs
 
 
@@ -90,20 +98,18 @@ def figure3c_grid() -> list[ExperimentConfig]:
     """Fig. 3c: efficiency vs artificial network delay at 10,000 el/s."""
     configs: list[ExperimentConfig] = []
     for delay in TABLE1_NETWORK_DELAYS_MS:
-        configs.append(base_scenario("vanilla", network_delay_ms=delay,
-                                     label=f"fig3c vanilla delay={delay}ms"))
+        configs.append(_point("vanilla", delay_ms=delay,
+                              label=f"fig3c vanilla delay={delay}ms"))
         for collector in TABLE1_COLLECTOR_LIMITS:
             for algorithm in ("compresschain", "hashchain"):
-                configs.append(base_scenario(algorithm, network_delay_ms=delay,
-                                             collector_limit=collector,
-                                             label=f"fig3c {algorithm} c={collector} delay={delay}ms"))
+                configs.append(_point(algorithm, delay_ms=delay, collector=collector,
+                                      label=f"fig3c {algorithm} c={collector} delay={delay}ms"))
     return configs
 
 
 def figure4_scenarios() -> list[ExperimentConfig]:
     """Fig. 4: latency CDFs, 10 servers, 1,250 el/s, collector 100, no delay."""
-    return [base_scenario(algorithm, sending_rate=1_250, collector_limit=100,
-                          label=f"fig4 {algorithm}")
+    return [_point(algorithm, rate=1_250, collector=100, label=f"fig4 {algorithm}")
             for algorithm in ("vanilla", "compresschain", "hashchain")]
 
 

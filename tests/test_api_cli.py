@@ -1,0 +1,101 @@
+"""The ``python -m repro`` CLI: list-scenarios, run, sweep, report."""
+
+import json
+import subprocess
+import sys
+
+import pytest
+
+from repro.api import RunResult
+from repro.api.cli import main
+
+SMOKE = "smoke"  # tiny ideal-ledger scenario registered by the catalog
+
+
+def test_list_scenarios_enumerates_at_least_ten(capsys):
+    assert main(["list-scenarios"]) == 0
+    out = capsys.readouterr().out
+    names = [line.split("|")[0].strip() for line in out.splitlines()[2:]
+             if "|" in line]
+    assert len(names) >= 10
+    assert "base" in names
+
+
+def test_list_scenarios_json_and_filters(capsys):
+    assert main(["list-scenarios", "--tag", "demo", "--json"]) == 0
+    records = [json.loads(line) for line in capsys.readouterr().out.splitlines()]
+    assert {r["name"] for r in records} == {"quickstart", "smoke"}
+    assert all("demo" in r["tags"] for r in records)
+    assert main(["list-scenarios", "--tag", "no-such-tag"]) == 1
+
+
+def test_run_writes_round_trippable_artifact(tmp_path, capsys):
+    artifact = tmp_path / "smoke.json"
+    assert main(["run", SMOKE, "--json", str(artifact)]) == 0
+    out = capsys.readouterr().out
+    assert "scenario : smoke" in out
+    result = RunResult.load(artifact)
+    assert RunResult.from_dict(result.to_dict()) == result
+    assert result.committed == result.injected > 0
+
+
+def test_run_unknown_scenario_fails_cleanly(capsys):
+    assert main(["run", "no-such-scenario"]) == 1
+    assert "unknown scenario" in capsys.readouterr().err
+
+
+def test_run_scaled(capsys):
+    assert main(["run", SMOKE, "--scale", "2", "--quiet"]) == 0
+    assert capsys.readouterr().out == ""
+
+
+def test_sweep_writes_one_artifact_per_scenario(tmp_path, capsys):
+    assert main(["sweep", "--tag", "demo", "--contains", "smoke",
+                 "--out", str(tmp_path), "--quiet"]) == 0
+    files = list(tmp_path.glob("*.json"))
+    assert [f.name for f in files] == ["smoke.json"]
+    assert main(["sweep", "--tag", "no-such-tag"]) == 1
+
+
+def test_sweep_limit_zero_is_not_a_filter_mismatch(capsys):
+    assert main(["sweep", "--tag", "demo", "--limit", "0"]) == 0
+    assert "nothing to run" in capsys.readouterr().err
+
+
+def test_sweep_rejects_negative_limit(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["sweep", "--tag", "demo", "--limit", "-1"])
+    assert excinfo.value.code == 2
+    assert "must be >= 0" in capsys.readouterr().err
+
+
+def test_report_renders_saved_artifacts(tmp_path, capsys):
+    artifact = tmp_path / "smoke.json"
+    main(["run", SMOKE, "--json", str(artifact), "--quiet"])
+    capsys.readouterr()
+    assert main(["report", str(artifact)]) == 0
+    out = capsys.readouterr().out
+    assert "smoke" in out and "avg thpt 50s" in out
+    assert main(["report", str(tmp_path / "missing.json")]) == 1
+
+
+def test_report_malformed_artifacts_fail_cleanly(tmp_path, capsys):
+    truncated = tmp_path / "truncated.json"
+    truncated.write_text("{bad")
+    assert main(["report", str(truncated)]) == 1
+    assert "invalid RunResult JSON" in capsys.readouterr().err
+    wrong_shape = tmp_path / "list.json"
+    wrong_shape.write_text("[1, 2, 3]")
+    assert main(["report", str(wrong_shape)]) == 1
+    assert "JSON object" in capsys.readouterr().err
+    incomplete = tmp_path / "incomplete.json"
+    incomplete.write_text('{"label": "x"}')
+    assert main(["report", str(incomplete)]) == 1
+    assert "missing RunResult fields" in capsys.readouterr().err
+
+
+@pytest.mark.parametrize("args", [["run", SMOKE, "--quiet"], ["list-scenarios"]])
+def test_module_entry_point_exits_zero(args):
+    completed = subprocess.run([sys.executable, "-m", "repro", *args],
+                               capture_output=True, text=True, timeout=300)
+    assert completed.returncode == 0, completed.stderr
