@@ -1,12 +1,16 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-smoke list-scenarios clean
+.PHONY: test bench bench-pytest bench-smoke list-scenarios clean
 
 test:
 	$(PYTHON) -m pytest -q
 
+# Wall-clock perf trajectory on the pinned bench-smoke set (repro.bench).
 bench:
+	$(PYTHON) -m repro.bench --jobs auto --out results/BENCH.json
+
+bench-pytest:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
 
 # One registry scenario through the CLI, persisting its RunResult artifact.

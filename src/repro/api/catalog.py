@@ -10,6 +10,7 @@ Importing this module — done lazily by the registry on its first access, see
 * ``stress/...`` — saturation scenarios past the analytical ceilings;
 * ``byzantine/...`` — runs with an explicit Byzantine tolerance ``f``;
 * ``burst/...`` — short high-rate injection spikes with long drains;
+* ``bench/...`` — the pinned ``bench-smoke`` set measured by :mod:`repro.bench`;
 * ``quickstart`` / ``smoke`` — small scenarios that finish in seconds.
 
 The Table 1 and figure entries capture configs built once here, at catalog
@@ -141,6 +142,43 @@ register_scenario(
     description="10-second 20k el/s spike into compresschain, collector 500",
 )(lambda: Scenario.compresschain().rate(20_000).collector(500)
   .inject_for(10).drain(140))
+
+
+# -- pinned benchmark scenarios (repro.bench) ---------------------------------
+# The ``bench-smoke`` set exercises every hot layer of the simulator: the
+# event loop (heavy hashchain run), the batching/hashing path (compresschain),
+# the per-element ledger path (vanilla), and the real-EdDSA code path
+# (ed25519).  These definitions are pinned — changing them invalidates the
+# perf trajectory recorded in BENCH_*.json.
+
+register_scenario(
+    "bench/hashchain-base", tags=("bench", "bench-smoke"),
+    description="Bench: 7-server hashchain, 400 el/s for 15 s",
+)(lambda: Scenario.hashchain().servers(7).rate(400).collector(50)
+  .inject_for(15).drain(60))
+
+register_scenario(
+    "bench/hashchain-heavy", tags=("bench", "bench-smoke"),
+    description="Bench: 10-server hashchain, 1000 el/s for 20 s (event-loop heavy)",
+)(lambda: Scenario.hashchain().servers(10).rate(1000).collector(100)
+  .inject_for(20).drain(80))
+
+register_scenario(
+    "bench/compresschain", tags=("bench", "bench-smoke"),
+    description="Bench: 4-server compresschain, 800 el/s for 20 s",
+)(lambda: Scenario.compresschain().servers(4).rate(800).collector(50)
+  .inject_for(20).drain(60))
+
+register_scenario(
+    "bench/vanilla", tags=("bench", "bench-smoke"),
+    description="Bench: 4-server vanilla, 200 el/s for 20 s",
+)(lambda: Scenario.vanilla().servers(4).rate(200).inject_for(20).drain(60))
+
+register_scenario(
+    "bench/hashchain-ed25519", tags=("bench", "bench-smoke"),
+    description="Bench: 4-server hashchain over real ed25519 signatures",
+)(lambda: Scenario.hashchain().servers(4).rate(100).collector(20)
+  .inject_for(5).drain(40).signature("ed25519"))
 
 
 # -- small, fast scenarios ----------------------------------------------------

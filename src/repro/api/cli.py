@@ -22,6 +22,7 @@ from typing import Sequence
 
 from ..analysis.report import render_table
 from ..errors import ReproError
+from .parallel import RunSpec, iter_spec_results, jobs_arg
 from .registry import iter_scenarios, scenario_tags
 from .results import SUMMARY_HEADERS, RunResult
 
@@ -62,6 +63,9 @@ def _build_parser() -> argparse.ArgumentParser:
                               "(default: results/)")
     sweep_p.add_argument("--limit", type=_non_negative_int, default=None,
                          help="run at most this many scenarios")
+    sweep_p.add_argument("--jobs", type=jobs_arg, default=1, metavar="N|auto",
+                         help="worker processes for the sweep "
+                              "(default 1; 'auto' = all cores)")
 
     report_p = sub.add_parser("report",
                               help="summarise saved RunResult JSON files")
@@ -141,12 +145,17 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print("nothing to run (--limit 0)", file=sys.stderr)
         return 0
     out_dir = Path(args.out)
-    for index, entry in enumerate(entries, start=1):
-        if not args.quiet:
-            print(f"[{index}/{len(entries)}] {entry.name}")
-        result = _run_one(entry.name, args)
+    specs = [RunSpec(name=entry.name, scale=args.scale, seed=args.seed,
+                     to_completion=args.to_completion) for entry in entries]
+    if not args.quiet and args.jobs > 1:
+        print(f"running {len(specs)} scenarios on {args.jobs} workers")
+    # Results stream back in input order and are persisted one by one, so an
+    # interrupted sweep keeps every artifact completed so far.
+    results = iter_spec_results(specs, jobs=args.jobs)
+    for index, (entry, result) in enumerate(zip(entries, results), start=1):
         path = result.save(out_dir / (entry.name.replace("/", "__") + ".json"))
         if not args.quiet:
+            print(f"[{index}/{len(entries)}] {entry.name}")
             _print_summary(result)
             print(f"  wrote {path}")
     return 0

@@ -1,0 +1,38 @@
+"""Wall-clock benchmark harness — the repository's performance trajectory.
+
+The simulation's own speed bounds how many scenarios, seeds, and server
+counts the reproduction can explore, so this package measures it the same way
+the paper measures Setchain: a pinned scenario set (``bench-smoke``), run
+with pinned seeds, reported as wall-clock seconds plus two rates — simulator
+events per wall-second and committed elements per wall-second.
+
+Results are written as ``BENCH_*.json`` artifacts (see
+:data:`repro.bench.runner.BENCH_SCHEMA_VERSION`) so successive PRs can be
+diffed: ``python -m repro.bench compare BEFORE.json AFTER.json`` renders the
+per-scenario speedups.  ``BENCH_PR2.json`` at the repository root seeds the
+trajectory.
+"""
+
+from .runner import (
+    BENCH_SCHEMA_VERSION,
+    BENCH_SMOKE,
+    BenchCase,
+    BenchRecord,
+    compare_benches,
+    load_bench,
+    run_bench,
+    run_case,
+    write_bench,
+)
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "BENCH_SMOKE",
+    "BenchCase",
+    "BenchRecord",
+    "compare_benches",
+    "load_bench",
+    "run_bench",
+    "run_case",
+    "write_bench",
+]

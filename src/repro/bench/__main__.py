@@ -1,0 +1,122 @@
+"""``python -m repro.bench`` — run the pinned benchmark set or compare artifacts.
+
+Usage::
+
+    python -m repro.bench [run] [--out BENCH.json] [--label after]
+                          [--jobs N|auto] [--repeat K]
+    python -m repro.bench compare BEFORE.json AFTER.json [--out BENCH_PR2.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from ..api.parallel import jobs_arg
+from ..errors import ReproError
+from .runner import (
+    BENCH_SMOKE,
+    compare_benches,
+    load_bench,
+    run_bench,
+    write_bench,
+)
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError("must be >= 1")
+    return value
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Measure wall-clock performance on the pinned bench-smoke set.")
+    sub = parser.add_subparsers(dest="command")
+
+    run_p = sub.add_parser("run", help="run the bench-smoke set (the default)")
+    _add_run_options(run_p)
+
+    cmp_p = sub.add_parser("compare",
+                           help="merge two bench artifacts into a before/after doc")
+    cmp_p.add_argument("before", help="baseline BENCH_*.json artifact")
+    cmp_p.add_argument("after", help="new BENCH_*.json artifact")
+    cmp_p.add_argument("--out", metavar="PATH",
+                       help="write the merged trajectory document here")
+    return parser
+
+
+def _add_run_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--out", metavar="PATH", default="results/BENCH.json",
+                        help="artifact path (default: results/BENCH.json)")
+    parser.add_argument("--label", default="",
+                        help="free-form label stored in the artifact")
+    parser.add_argument("--jobs", type=jobs_arg, default=1, metavar="N|auto",
+                        help="worker processes (default 1; 'auto' = all cores)")
+    parser.add_argument("--repeat", type=_positive_int, default=1,
+                        help="runs per case, keeping the fastest (default 1)")
+    parser.add_argument("--contains", metavar="TEXT",
+                        help="only cases whose scenario name contains TEXT "
+                             "(partial artifacts are not comparable trajectories)")
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    cases = BENCH_SMOKE
+    bench_set = "bench-smoke"
+    if args.contains:
+        cases = tuple(c for c in cases if args.contains in c.scenario)
+        if not cases:
+            print(f"no bench cases match {args.contains!r}", file=sys.stderr)
+            return 1
+        if len(cases) < len(BENCH_SMOKE):
+            # A filtered artifact must not masquerade as the pinned set —
+            # whole-set trajectory comparisons would silently shrink to the
+            # intersection.
+            bench_set = "bench-smoke/partial"
+    records = run_bench(cases, jobs=args.jobs, repeat=args.repeat)
+    for record in records:
+        print(f"{record.scenario:28s} wall={record.wall_s:8.3f}s  "
+              f"events/s={record.events_per_s:10.1f}  "
+              f"el/s={record.elements_per_s:8.1f}")
+    path = write_bench(records, args.out, label=args.label, bench_set=bench_set)
+    print(f"wrote {path}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    merged = compare_benches(load_bench(args.before), load_bench(args.after))
+    for scenario, ratio in merged["speedup"].items():
+        print(f"{scenario:28s} speedup {ratio:.2f}x")
+    print(f"{'(whole set)':28s} speedup {merged['overall_wall_speedup']:.2f}x")
+    if args.out:
+        from pathlib import Path
+        target = Path(args.out)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(json.dumps(merged, indent=2) + "\n")
+        print(f"wrote {target}")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # Bare `python -m repro.bench [--opts]` means `run` — but keep the
+    # program-level --help reachable (it is what documents `compare`).
+    if not argv:
+        argv = ["run"]
+    elif argv[0].startswith("-") and argv[0] not in ("-h", "--help"):
+        argv.insert(0, "run")
+    args = _build_parser().parse_args(argv)
+    command = _cmd_compare if args.command == "compare" else _cmd_run
+    try:
+        return command(args)
+    except (ReproError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -42,8 +42,23 @@ class Collector:
 
     @property
     def pending(self) -> tuple[object, ...]:
-        """Current batch contents (copy)."""
+        """Current batch contents (defensive copy, for external inspection).
+
+        Hot paths must use :meth:`pending_view` instead — this property
+        allocates a fresh tuple on every access.  (Audit as of PR 2: no code
+        under ``src/`` reads ``pending``; only tests do.)
+        """
         return tuple(self._batch)
+
+    def pending_view(self) -> Sequence[object]:
+        """Zero-copy read-only view of the current batch contents.
+
+        The returned sequence is the collector's live internal buffer: it
+        mutates on the next :meth:`add` and is emptied by a flush, so callers
+        must not hold it across simulation steps — snapshot via
+        :attr:`pending` for that.
+        """
+        return self._batch
 
     def add(self, item: object) -> None:
         """``add_to_batch(e)``: append an element or epoch-proof to the batch."""
@@ -67,7 +82,10 @@ class Collector:
 
     def _flush(self) -> None:
         self._timer.cancel()
-        batch, self._batch = self._batch, []
+        # Hand the callback an immutable snapshot: consumers that need a
+        # tuple (the hashchain batch store, CompressedBatch) can reuse it
+        # as-is instead of re-copying the batch.
+        batch, self._batch = tuple(self._batch), []
         # Contract of the pseudocode's `assert batch != ∅`.
         assert batch, "collector flushed an empty batch"
         self.on_flush(batch)

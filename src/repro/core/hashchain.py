@@ -222,20 +222,23 @@ class HashchainServer(BaseSetchainServer):
         """Lines 35-45: absorb proofs, update the_set, track signers, maybe consolidate."""
         elements, proofs = split_batch(items)
         self._absorb_proofs(proofs)
+        # G (line 42) computed in the same scan that feeds the_set: nothing
+        # between here and consolidation changes element validity or history
+        # membership, so the paper's recompute-at-consolidation-time yields
+        # exactly this set.
+        fresh: dict[int, Element] = {}
         for element in elements:
             if valid_element(element) and not self._known_in_history(element):
                 self._add_to_the_set(element)
+                # Last occurrence wins for conflicting duplicate ids, exactly
+                # as the separate recompute loop behaved.
+                fresh[element.element_id] = element
         signers = self.hash_to_signers.setdefault(hb.batch_hash, set())
         signers.add(hb.signer)
         if (len(signers) >= self.config.quorum
                 and hb.batch_hash not in self._consolidated):
             self._consolidated.add(hb.batch_hash)
-            # Line 42: recompute G at consolidation time.
-            new_epoch: dict[int, Element] = {}
-            for element in elements:
-                if valid_element(element) and not self._known_in_history(element):
-                    new_epoch[element.element_id] = element
-            if new_epoch:
-                proof = self._record_new_epoch(set(new_epoch.values()), block)
+            if fresh:
+                proof = self._record_new_epoch(set(fresh.values()), block)
                 self.add_to_batch(proof)
         self._finish_after(duration)

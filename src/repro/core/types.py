@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from types import MappingProxyType
 from typing import Mapping
 
@@ -29,16 +29,21 @@ class EpochProof:
     signature: bytes
     signer: str
     size_bytes: int = EPOCH_PROOF_SIZE
+    #: Cached canonical encoding (fields are frozen; hashed once per batch).
+    _canonical: bytes = field(init=False, repr=False, compare=False, default=b"")
 
     def __post_init__(self) -> None:
         if self.epoch_number < 1:
             raise SetchainError("epoch numbers start at 1")
         if not self.signer:
             raise SetchainError("epoch-proof must name its signer")
+        object.__setattr__(
+            self, "_canonical",
+            (f"proof|{self.epoch_number}|{self.epoch_hash}|{self.signer}|"
+             f"{self.signature.hex()}").encode())
 
     def canonical_bytes(self) -> bytes:
-        return (f"proof|{self.epoch_number}|{self.epoch_hash}|{self.signer}|"
-                f"{self.signature.hex()}").encode()
+        return self._canonical
 
     @property
     def is_element(self) -> bool:
@@ -62,15 +67,20 @@ class HashBatch:
     signature: bytes
     signer: str
     size_bytes: int = HASH_BATCH_SIZE
+    #: Cached canonical encoding (fields are frozen; hashed once per batch).
+    _canonical: bytes = field(init=False, repr=False, compare=False, default=b"")
 
     def __post_init__(self) -> None:
         if not self.batch_hash:
             raise SetchainError("hash-batch must carry a batch hash")
         if not self.signer:
             raise SetchainError("hash-batch must name its signer")
+        object.__setattr__(
+            self, "_canonical",
+            f"hash-batch|{self.batch_hash}|{self.signer}|{self.signature.hex()}".encode())
 
     def canonical_bytes(self) -> bytes:
-        return f"hash-batch|{self.batch_hash}|{self.signer}|{self.signature.hex()}".encode()
+        return self._canonical
 
     @property
     def is_element(self) -> bool:

@@ -7,6 +7,17 @@ it exists so the signature code path (key generation, signing, verification,
 64-byte signatures) matches the paper's ed25519 usage exactly.  Large
 benchmark runs use the faster ``SimulatedScheme`` instead (see
 :mod:`repro.crypto.signatures`).
+
+Fast path: scalar multiplication uses the dedicated doubling formula
+(:func:`_point_double`, RFC 8032 §5.1.4) instead of a generic addition, and
+fixed-base multiples of the generator — every ``sign`` computes two of them,
+every ``verify`` one — go through a lazily built 4-bit window table
+(:func:`_point_mul_base`): 64 precomputed-table additions replace ~253
+double-and-add steps.  ``sign`` additionally caches the expanded secret
+(scalar, prefix, compressed public key) per seed, so per-signature cost is
+one windowed multiplication plus hashing.  None of this changes any emitted
+byte: the RFC 8032 test vectors in ``tests/test_crypto_ed25519.py`` pin the
+output.
 """
 
 from __future__ import annotations
@@ -53,12 +64,25 @@ def _point_add(P: _Point, Q: _Point) -> _Point:
     return (E * F % _p, G * H % _p, F * G % _p, E * H % _p)
 
 
+def _point_double(P: _Point) -> _Point:
+    # Dedicated doubling (RFC 8032 §5.1.4): 4M + 4S, vs 9M for _point_add.
+    X1, Y1, Z1, _T1 = P
+    A = X1 * X1 % _p
+    B = Y1 * Y1 % _p
+    C = 2 * Z1 * Z1 % _p
+    H = A + B
+    E = H - (X1 + Y1) * (X1 + Y1) % _p
+    G = A - B
+    F = C + G
+    return (E * F % _p, G * H % _p, F * G % _p, E * H % _p)
+
+
 def _point_mul(s: int, P: _Point) -> _Point:
     Q: _Point = (0, 1, 1, 0)  # identity
     while s > 0:
         if s & 1:
             Q = _point_add(Q, P)
-        P = _point_add(P, P)
+        P = _point_double(P)
         s >>= 1
     return Q
 
@@ -99,6 +123,44 @@ _g_x = _recover_x(_g_y, 0)
 assert _g_x is not None
 _G: _Point = (_g_x, _g_y, 1, _g_x * _g_y % _p)
 
+# Fixed-base window table: _BASE_TABLE[i][j] = (j << 4*i) * G for j in 0..15,
+# covering 64 four-bit windows (scalars here are < 2^255).  Built lazily on
+# the first fixed-base multiplication (~1k point additions, paid once).
+_WINDOW_BITS = 4
+_WINDOWS = 64
+_base_table: list[list[_Point]] | None = None
+
+
+def _build_base_table() -> list[list[_Point]]:
+    global _base_table
+    if _base_table is None:
+        table: list[list[_Point]] = []
+        base = _G
+        for _ in range(_WINDOWS):
+            row: list[_Point] = [(0, 1, 1, 0)]
+            acc = base
+            for _ in range((1 << _WINDOW_BITS) - 1):
+                row.append(acc)
+                acc = _point_add(acc, base)
+            table.append(row)
+            base = acc  # 16 * previous window base
+        _base_table = table
+    return _base_table
+
+
+def _point_mul_base(s: int) -> _Point:
+    """``s * G`` through the fixed-base window table (64 additions max)."""
+    table = _build_base_table()
+    Q: _Point = (0, 1, 1, 0)
+    window = 0
+    while s > 0:
+        w = s & 15
+        if w:
+            Q = _point_add(Q, table[window][w])
+        s >>= 4
+        window += 1
+    return Q
+
 
 def _point_compress(P: _Point) -> bytes:
     zinv = _inv(P[2])
@@ -129,18 +191,33 @@ def _secret_expand(secret: bytes) -> tuple[int, bytes]:
     return a, h[32:]
 
 
+# Expanded-key cache: the simulation signs many messages under few seeds, so
+# the (scalar, prefix, compressed public key) triple is computed once per seed.
+_KEY_CACHE_MAX = 1024
+_key_cache: dict[bytes, tuple[int, bytes, bytes]] = {}
+
+
+def _expanded_key(secret: bytes) -> tuple[int, bytes, bytes]:
+    cached = _key_cache.get(secret)
+    if cached is None:
+        a, prefix = _secret_expand(secret)
+        cached = (a, prefix, _point_compress(_point_mul_base(a)))
+        if len(_key_cache) >= _KEY_CACHE_MAX:
+            _key_cache.clear()
+        _key_cache[secret] = cached
+    return cached
+
+
 def generate_public_key(secret: bytes) -> bytes:
     """Derive the 32-byte public key from a 32-byte secret seed."""
-    a, _prefix = _secret_expand(secret)
-    return _point_compress(_point_mul(a, _G))
+    return _expanded_key(secret)[2]
 
 
 def sign(secret: bytes, message: bytes) -> bytes:
     """Produce a 64-byte Ed25519 signature of ``message`` under ``secret``."""
-    a, prefix = _secret_expand(secret)
-    A = _point_compress(_point_mul(a, _G))
+    a, prefix, A = _expanded_key(secret)
     r = int.from_bytes(_sha512(prefix + message), "little") % _q
-    R = _point_compress(_point_mul(r, _G))
+    R = _point_compress(_point_mul_base(r))
     h = int.from_bytes(_sha512(R + A + message), "little") % _q
     s = (r + h * a) % _q
     return R + int.to_bytes(s, 32, "little")
@@ -161,6 +238,6 @@ def verify(public: bytes, message: bytes, signature: bytes) -> bool:
     if s >= _q:
         return False
     h = int.from_bytes(_sha512(Rs + public + message), "little") % _q
-    sB = _point_mul(s, _G)
+    sB = _point_mul_base(s)
     hA = _point_mul(h, A)
     return _point_equal(sB, _point_add(R, hA))

@@ -6,6 +6,12 @@ The paper hashes (i) batches of elements, to form Hashchain hash-batches, and
 must not depend on the order servers happened to receive elements; we sort the
 canonical encodings before hashing, which also matches the paper's observation
 (Appendix G) that implementations impose a deterministic internal order.
+
+The canonical encodings themselves are cached on the objects
+(``Element``/``EpochProof``/``HashBatch`` compute ``canonical_bytes()`` once
+at construction), so hashing a batch is a sort of precomputed byte strings
+plus one SHA-512 pass — the encode step is never repeated per server or per
+epoch.
 """
 
 from __future__ import annotations
@@ -48,7 +54,7 @@ def canonical_bytes_of(item: object) -> bytes:
 
 def hash_batch(items: Iterable[object]) -> str:
     """Order-independent SHA-512 hash of a batch of items."""
-    encoded = sorted(_canonical_item(item) for item in items)
+    encoded = sorted(map(_canonical_item, items))
     hasher = hashlib.sha512()
     hasher.update(len(encoded).to_bytes(8, "big"))
     for blob in encoded:
@@ -59,7 +65,7 @@ def hash_batch(items: Iterable[object]) -> str:
 
 def hash_epoch(epoch_number: int, elements: Iterable[object]) -> str:
     """SHA-512 hash of ``(epoch_number, elements)`` — the value epoch-proofs sign."""
-    encoded = sorted(_canonical_item(item) for item in elements)
+    encoded = sorted(map(_canonical_item, elements))
     hasher = hashlib.sha512()
     hasher.update(b"epoch:")
     hasher.update(int(epoch_number).to_bytes(8, "big"))

@@ -10,6 +10,14 @@ Two backends:
   owner's secret cannot produce a tag that verifies for that owner), while
   being ~1000x faster, which matters for benchmark runs that sign hundreds of
   thousands of batches.  This substitution is recorded in DESIGN.md §2.
+
+Both backends share a positive-verification cache: in a Setchain deployment
+the *same* ``(owner, message, signature)`` triple is re-verified by every
+server that sees the hash-batch or epoch-proof, so each scheme memoises
+successful verifications.  Only positives are cached — a signature that
+verified once can never stop verifying, because the PKI rejects re-binding
+an owner to a different key — so failures (e.g. an owner registered after a
+first failed lookup) are always re-checked.
 """
 
 from __future__ import annotations
@@ -23,12 +31,17 @@ from . import ed25519
 from .keys import KeyPair, PublicKeyInfrastructure, derive_secret_seed
 
 
+#: Verified-triple cache bound; the cache is cleared wholesale when full.
+_VERIFY_CACHE_MAX = 1 << 16
+
+
 class SignatureScheme(ABC):
     """Sign/verify interface shared by all backends.
 
     Messages are strings (hex digests, canonical encodings); the scheme is
     responsible for encoding.  ``verify`` resolves the signer's public key via
-    the PKI by the *claimed* owner id.
+    the PKI by the *claimed* owner id, and memoises successful verifications
+    (every server in a deployment re-verifies the same signed artifacts).
     """
 
     #: Length of a signature produced by this scheme, in bytes.
@@ -36,6 +49,7 @@ class SignatureScheme(ABC):
 
     def __init__(self, pki: PublicKeyInfrastructure) -> None:
         self.pki = pki
+        self._verified: set[tuple[str, str, bytes]] = set()
 
     @abstractmethod
     def generate_keypair(self, owner: str, deployment_seed: int = 0) -> KeyPair:
@@ -45,9 +59,21 @@ class SignatureScheme(ABC):
     def sign(self, keypair: KeyPair, message: str) -> bytes:
         """Sign ``message`` with the private half of ``keypair``."""
 
-    @abstractmethod
     def verify(self, owner: str, message: str, signature: bytes) -> bool:
         """True iff ``signature`` over ``message`` verifies for ``owner``'s registered key."""
+        key = (owner, message, signature)
+        if key in self._verified:
+            return True
+        if not self._verify(owner, message, signature):
+            return False
+        if len(self._verified) >= _VERIFY_CACHE_MAX:
+            self._verified.clear()
+        self._verified.add(key)
+        return True
+
+    @abstractmethod
+    def _verify(self, owner: str, message: str, signature: bytes) -> bool:
+        """Backend verification (uncached)."""
 
 
 class Ed25519Scheme(SignatureScheme):
@@ -63,7 +89,7 @@ class Ed25519Scheme(SignatureScheme):
     def sign(self, keypair: KeyPair, message: str) -> bytes:
         return ed25519.sign(keypair.secret, message.encode())
 
-    def verify(self, owner: str, message: str, signature: bytes) -> bool:
+    def _verify(self, owner: str, message: str, signature: bytes) -> bool:
         try:
             public = self.pki.public_key_of(owner)
         except CryptoError:
@@ -97,17 +123,19 @@ class SimulatedScheme(SignatureScheme):
         return keypair
 
     def sign(self, keypair: KeyPair, message: str) -> bytes:
-        return hmac.new(keypair.secret, keypair.owner.encode() + b"|" + message.encode(),
-                        hashlib.sha512).digest()[:64]
+        # One-shot C implementation — no HMAC object per signature.
+        return hmac.digest(keypair.secret,
+                           keypair.owner.encode() + b"|" + message.encode(),
+                           "sha512")[:64]
 
-    def verify(self, owner: str, message: str, signature: bytes) -> bool:
+    def _verify(self, owner: str, message: str, signature: bytes) -> bool:
         if not self.pki.knows(owner):
             return False
         secret = self._secrets.get(owner)
         if secret is None:
             return False
-        expected = hmac.new(secret, owner.encode() + b"|" + message.encode(),
-                            hashlib.sha512).digest()[:64]
+        expected = hmac.digest(secret, owner.encode() + b"|" + message.encode(),
+                               "sha512")[:64]
         return hmac.compare_digest(expected, signature)
 
 

@@ -28,10 +28,12 @@ class Proposal:
     proposer: str
     transactions: tuple[Transaction, ...]
     block_id: str
+    #: Wire size, summed once at construction (broadcast reads it per message).
+    size_bytes: int = field(init=False, default=0, compare=False)
 
-    @property
-    def size_bytes(self) -> int:
-        return sum(tx.size_bytes for tx in self.transactions)
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "size_bytes",
+                           sum(tx.size_bytes for tx in self.transactions))
 
 
 class VoteType(str, Enum):

@@ -68,6 +68,9 @@ class CometBFTNode(NetworkNode, LedgerInterface):
         self._propose_timer = Timer(sim, self._maybe_propose)
         self._last_commit_time = 0.0
         self._crashed = False
+        #: The fixed fan-out set for consensus traffic (validators only).
+        self._peer_validators = tuple(peer for peer in validators.names
+                                      if peer != name)
         #: tx_id -> height at which this node committed the transaction.
         self.inclusion_height: dict[int, int] = {}
         self.on("tx", self._on_tx)
@@ -80,9 +83,10 @@ class CometBFTNode(NetworkNode, LedgerInterface):
     def _broadcast_validators(self, msg_type: str, payload: object,
                               size_bytes: int = 0) -> None:
         """Send to every other validator (not to non-validator nodes on the network)."""
-        for peer in self.validators.names:
-            if peer != self.name:
-                self.send(peer, msg_type, payload, size_bytes)
+        sent = self.network.multicast(self.name, msg_type, payload, size_bytes,
+                                      recipients=self._peer_validators)
+        self.messages_sent += sent
+        self.bytes_sent += size_bytes * sent
 
     # -- LedgerInterface -------------------------------------------------------
 
@@ -162,12 +166,13 @@ class CometBFTNode(NetworkNode, LedgerInterface):
             # No transactions: retry shortly rather than emitting empty blocks.
             self._propose_timer.start(self.config.block_interval * _EMPTY_RETRY_FRACTION)
             return
+        transactions = tuple(txs)
         proposal = Proposal(
             height=self.height,
             round=self.state.round,
             proposer=self.name,
-            transactions=tuple(txs),
-            block_id=block_id_for(self.height, tuple(txs), self.name),
+            transactions=transactions,
+            block_id=block_id_for(self.height, transactions, self.name),
         )
         self._broadcast_validators("proposal", proposal, size_bytes=proposal.size_bytes)
         self._handle_proposal(proposal)

@@ -29,6 +29,8 @@ class Network:
         self._nodes: dict[str, NetworkNode] = {}
         self._drop_rules: list[DropRule] = []
         self._partitions: list[tuple[frozenset[str], frozenset[str]]] = []
+        #: Sorted node names, rebuilt on registration (broadcast hot path).
+        self._sorted_names: tuple[str, ...] = ()
         #: Totals for observability.
         self.messages_delivered = 0
         self.messages_dropped = 0
@@ -42,11 +44,12 @@ class Network:
         if node.name in self._nodes:
             raise NetworkError(f"a node named {node.name!r} is already registered")
         self._nodes[node.name] = node
+        self._sorted_names = tuple(sorted(self._nodes))
         node.attach(self)
 
     def node_names(self) -> list[str]:
         """Registered node names in sorted (deterministic) order."""
-        return sorted(self._nodes)
+        return list(self._sorted_names)
 
     def node(self, name: str) -> NetworkNode:
         try:
@@ -97,7 +100,9 @@ class Network:
                 f"{message.sender!r} sent {message.msg_type!r} to unknown node "
                 f"{message.recipient!r}"
             )
-        if self._crosses_partition(message) or any(rule(message) for rule in self._drop_rules):
+        if ((self._partitions and self._crosses_partition(message))
+                or (self._drop_rules
+                    and any(rule(message) for rule in self._drop_rules))):
             self.messages_dropped += 1
             return
         if message.sender == message.recipient:
@@ -108,6 +113,46 @@ class Network:
         delay = self.latency.delay(self._rng, message.sender, message.recipient,
                                    message.size_bytes)
         self.sim.call_in(delay, lambda: self._deliver(message))
+
+    def multicast(self, sender: str, msg_type: str, payload: object,
+                  size_bytes: int = 0,
+                  recipients: list[str] | tuple[str, ...] | None = None) -> int:
+        """Fan one payload out to many recipients (the broadcast fast path).
+
+        Every per-recipient envelope shares the *same* payload object — the
+        payload (and its modelled size) is computed once by the caller, never
+        re-serialised per recipient — and the fault-injection checks are
+        hoisted out of the loop when no partitions or drop rules are
+        installed.  ``recipients`` defaults to every registered node except
+        the sender, in sorted order; delivery semantics (latency draws,
+        ordering, drop accounting) are identical to calling :meth:`transmit`
+        once per recipient.  Returns the number of messages transmitted.
+        """
+        if recipients is None:
+            recipients = [name for name in self._sorted_names if name != sender]
+        filtered = bool(self._partitions or self._drop_rules)
+        nodes = self._nodes
+        sim = self.sim
+        delay_of = self.latency.delay
+        rng = self._rng
+        for recipient in recipients:
+            message = Message(sender=sender, recipient=recipient,
+                              msg_type=msg_type, payload=payload,
+                              size_bytes=size_bytes)
+            if recipient not in nodes:
+                raise NetworkError(
+                    f"{sender!r} sent {msg_type!r} to unknown node {recipient!r}"
+                )
+            if filtered and (self._crosses_partition(message)
+                             or any(rule(message) for rule in self._drop_rules)):
+                self.messages_dropped += 1
+                continue
+            if recipient == sender:
+                sim.call_soon(lambda m=message: self._deliver(m))
+                continue
+            delay = delay_of(rng, sender, recipient, size_bytes)
+            sim.call_in(delay, lambda m=message: self._deliver(m))
+        return len(recipients)
 
     def _deliver(self, message: Message) -> None:
         node = self._nodes.get(message.recipient)

@@ -3,6 +3,18 @@
 Events are ordered by ``(time, priority, sequence)``.  The sequence number
 breaks ties deterministically in insertion order, which keeps simulations
 reproducible regardless of callback identity.
+
+Performance notes (this is the hottest loop in the repository):
+
+* Heap entries are plain ``(time, priority, seq, event)`` tuples, so heap
+  sift comparisons run entirely in C — no ``Event.__lt__`` Python frames.
+* ``len(queue)`` is O(1): the queue counts cancelled-but-still-heaped
+  entries, and :meth:`Event.cancel` notifies its owning queue.
+* Cancelled events use lazy deletion (skipped at pop time) with amortised
+  compaction: once cancellations outnumber live entries the heap is rebuilt,
+  bounding memory and pop cost for cancel-heavy workloads (timers).
+* :meth:`pop_due` fuses the scheduler's peek-then-pop pair into one
+  heap access per executed event.
 """
 
 from __future__ import annotations
@@ -16,8 +28,11 @@ from ..errors import SimulationError
 
 Callback = Callable[[], None]
 
+#: Compact only past this many cancelled entries (avoids thrashing tiny heaps).
+_COMPACT_MIN_CANCELLED = 64
 
-@dataclass(order=True, slots=True)
+
+@dataclass(slots=True)
 class Event:
     """A single scheduled callback.
 
@@ -38,35 +53,53 @@ class Event:
     time: float
     priority: int
     seq: int
-    callback: Callback = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
+    callback: Callback
+    cancelled: bool = False
+    #: Owning queue while the event sits in its heap; cleared on pop so a
+    #: late cancel of an already-executed event is a harmless no-op.
+    _queue: "EventQueue | None" = field(default=None, repr=False)
 
     def cancel(self) -> None:
         """Prevent the callback from running.  Idempotent."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        queue = self._queue
+        if queue is not None:
+            self._queue = None
+            queue._note_cancelled()
 
 
 class EventQueue:
     """A min-heap of :class:`Event` objects keyed by time."""
 
     def __init__(self) -> None:
-        self._heap: list[Event] = []
+        self._heap: list[tuple[float, int, int, Event]] = []
         self._counter = itertools.count()
+        #: Cancelled entries still sitting in the heap (lazy deletion debt).
+        self._cancelled = 0
 
     def __len__(self) -> int:
-        """Number of live (non-cancelled) events.  O(n); meant for tests/inspection."""
-        return sum(1 for event in self._heap if not event.cancelled)
+        """Number of live (non-cancelled) events.  O(1)."""
+        return len(self._heap) - self._cancelled
 
     def __bool__(self) -> bool:
         return self.peek_time() is not None
+
+    def _note_cancelled(self) -> None:
+        """A heaped event was cancelled; compact once debt dominates."""
+        self._cancelled += 1
+        if (self._cancelled >= _COMPACT_MIN_CANCELLED
+                and self._cancelled * 2 >= len(self._heap)):
+            self.discard_cancelled()
 
     def push(self, time: float, callback: Callback, priority: int = 0) -> Event:
         """Schedule ``callback`` at absolute ``time`` and return the event handle."""
         if time != time:  # NaN guard
             raise SimulationError("event time is NaN")
-        event = Event(time=time, priority=priority, seq=next(self._counter),
-                      callback=callback)
-        heapq.heappush(self._heap, event)
+        event = Event(time, priority, next(self._counter), callback)
+        event._queue = self
+        heapq.heappush(self._heap, (time, priority, event.seq, event))
         return event
 
     def pop(self) -> Event:
@@ -77,23 +110,49 @@ class EventQueue:
         SimulationError
             If the queue holds no live events.
         """
-        while self._heap:
-            event = heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            event = heapq.heappop(heap)[3]
             if event.cancelled:
+                self._cancelled -= 1
                 continue
+            event._queue = None
             return event
         raise SimulationError("pop from empty event queue")
 
+    def pop_due(self, horizon: float) -> Event | None:
+        """Pop the earliest live event with ``time <= horizon``, else ``None``.
+
+        Single heap access per returned event — the scheduler's main loop
+        uses this instead of a ``peek_time()``/``pop()`` pair.
+        """
+        heap = self._heap
+        while heap:
+            head = heap[0]
+            event = head[3]
+            if event.cancelled:
+                heapq.heappop(heap)
+                self._cancelled -= 1
+                continue
+            if head[0] > horizon:
+                return None
+            heapq.heappop(heap)
+            event._queue = None
+            return event
+        return None
+
     def peek_time(self) -> float | None:
         """Time of the earliest live event, or ``None`` if the queue is empty."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        if not self._heap:
+        heap = self._heap
+        while heap and heap[0][3].cancelled:
+            heapq.heappop(heap)
+            self._cancelled -= 1
+        if not heap:
             return None
-        return self._heap[0].time
+        return heap[0][0]
 
     def discard_cancelled(self) -> None:
         """Compact the heap by removing cancelled entries (O(n))."""
-        live = [e for e in self._heap if not e.cancelled]
-        heapq.heapify(live)
-        self._heap = live
+        self._heap = [entry for entry in self._heap if not entry[3].cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled = 0

@@ -81,6 +81,36 @@ class Simulator:
         event.callback()
         return True
 
+    def _drain(self, horizon: float) -> None:
+        """Execute every due event up to ``horizon`` (the shared main loop).
+
+        The common, unbudgeted case fuses the queue's peek/pop pair into a
+        single :meth:`~repro.sim.events.EventQueue.pop_due` heap access per
+        event and skips the :meth:`step` call frame entirely; with an event
+        budget the peek-first formulation is kept so exhausting the budget
+        never loses an unexecuted event.
+        """
+        queue = self._queue
+        if self.max_events is None:
+            pop_due = queue.pop_due
+            while True:
+                event = pop_due(horizon)
+                if event is None:
+                    return
+                self._now = event.time
+                self.events_executed += 1
+                event.callback()
+        else:
+            while True:
+                next_time = queue.peek_time()
+                if next_time is None or next_time > horizon:
+                    return
+                if self.events_executed >= self.max_events:
+                    raise SimulationError(
+                        f"event budget of {self.max_events} exhausted at t={self._now:.3f}"
+                    )
+                self.step()
+
     def run_until(self, end_time: float) -> None:
         """Run events until the clock reaches ``end_time`` (inclusive).
 
@@ -95,15 +125,7 @@ class Simulator:
             raise SimulationError("simulator is already running (re-entrant run)")
         self._running = True
         try:
-            while True:
-                next_time = self._queue.peek_time()
-                if next_time is None or next_time > end_time:
-                    break
-                if self.max_events is not None and self.events_executed >= self.max_events:
-                    raise SimulationError(
-                        f"event budget of {self.max_events} exhausted at t={self._now:.3f}"
-                    )
-                self.step()
+            self._drain(end_time)
             self._now = max(self._now, end_time)
         finally:
             self._running = False
@@ -115,15 +137,7 @@ class Simulator:
             raise SimulationError("simulator is already running (re-entrant run)")
         self._running = True
         try:
-            while True:
-                next_time = self._queue.peek_time()
-                if next_time is None or next_time > horizon:
-                    break
-                if self.max_events is not None and self.events_executed >= self.max_events:
-                    raise SimulationError(
-                        f"event budget of {self.max_events} exhausted at t={self._now:.3f}"
-                    )
-                self.step()
+            self._drain(horizon)
             if max_time is not None:
                 self._now = max(self._now, max_time)
         finally:

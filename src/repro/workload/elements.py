@@ -55,15 +55,21 @@ class Element:
     signature: bytes = b""
     created_at: float = 0.0
     valid: bool = True
+    #: Cached canonical encoding — every batch/epoch hash re-reads it, so it
+    #: is computed once at construction (the fields are frozen).
+    _canonical: bytes = field(init=False, repr=False, compare=False, default=b"")
 
     def __post_init__(self) -> None:
         if self.size_bytes <= 0:
             raise InvalidElementError("element size must be positive")
+        object.__setattr__(self, "_canonical",
+                           element_signing_payload(self.element_id, self.client,
+                                                   self.size_bytes,
+                                                   self.body_digest).encode())
 
     def canonical_bytes(self) -> bytes:
-        """Stable encoding used for batch/epoch hashing."""
-        return element_signing_payload(self.element_id, self.client,
-                                       self.size_bytes, self.body_digest).encode()
+        """Stable encoding used for batch/epoch hashing (cached)."""
+        return self._canonical
 
     @property
     def is_element(self) -> bool:
