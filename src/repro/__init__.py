@@ -36,9 +36,16 @@ from .version import __version__
 from .config import (
     ExperimentConfig,
     LedgerConfig,
+    RegionSpec,
     SetchainConfig,
+    TopologyConfig,
     WorkloadConfig,
     base_scenario,
+)
+from .topology import (
+    register_algorithm,
+    register_latency_profile,
+    register_ledger_backend,
 )
 from .core import (
     BaseSetchainServer,
@@ -69,7 +76,13 @@ __all__ = [
     "LedgerConfig",
     "SetchainConfig",
     "WorkloadConfig",
+    "RegionSpec",
+    "TopologyConfig",
     "base_scenario",
+    # topology registries
+    "register_algorithm",
+    "register_ledger_backend",
+    "register_latency_profile",
     # public experiment API
     "Scenario",
     "ScenarioBuilder",

@@ -15,7 +15,7 @@ ledger nodes' mempool arrival tables.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import Any, Iterable, Mapping
 
 from ..workload.elements import Element
 
@@ -80,6 +80,40 @@ class MetricsCollector:
         self.hash_reversal_failure = 0
         #: epoch_number -> first commit observation time.
         self.epoch_commit_times: dict[int, float] = {}
+        #: Server name -> region name; empty for homogeneous deployments.
+        self.region_of: dict[str, str] = {}
+        #: region -> elements first added at a server in that region.
+        self.region_added: dict[str, int] = {}
+        #: region -> elements whose commit was first observed in that region.
+        self.region_committed: dict[str, int] = {}
+        #: region -> earliest commit observation time in that region.
+        self.region_first_commit: dict[str, float] = {}
+
+    # -- regions ---------------------------------------------------------------
+
+    def set_region_map(self, region_of: Mapping[str, str]) -> None:
+        """Enable per-region breakdowns (server name -> region name)."""
+        self.region_of = dict(region_of)
+        for region in self.region_of.values():
+            self.region_added.setdefault(region, 0)
+            self.region_committed.setdefault(region, 0)
+
+    def region_summary(self) -> dict[str, dict[str, Any]] | None:
+        """Per-region breakdown, or ``None`` when no region map is set."""
+        if not self.region_of:
+            return None
+        servers: dict[str, int] = {}
+        for region in self.region_of.values():
+            servers[region] = servers.get(region, 0) + 1
+        return {
+            region: {
+                "servers": servers[region],
+                "added": self.region_added.get(region, 0),
+                "committed": self.region_committed.get(region, 0),
+                "first_commit": self.region_first_commit.get(region),
+            }
+            for region in sorted(servers)
+        }
 
     # -- element lifecycle ------------------------------------------------------
 
@@ -101,6 +135,9 @@ class MetricsCollector:
         record.size_bytes = element.size_bytes
         if record.added_at is None:
             record.added_at = time
+            region = self.region_of.get(server)
+            if region is not None:
+                self.region_added[region] = self.region_added.get(region, 0) + 1
 
     def record_tx_elements(self, tx_id: int, element_ids: Iterable[int]) -> None:
         self.tx_elements[tx_id] = list(element_ids)
@@ -134,10 +171,16 @@ class MetricsCollector:
                                time: float, observer: str = "?") -> None:
         if epoch_number not in self.epoch_commit_times:
             self.epoch_commit_times[epoch_number] = time
+        region = self.region_of.get(observer)
         for element in elements:
             record = self._record(element.element_id)
             if record.committed_at is None:
                 record.committed_at = time
+                if region is not None:
+                    self.region_committed[region] = (
+                        self.region_committed.get(region, 0) + 1)
+                    if region not in self.region_first_commit:
+                        self.region_first_commit[region] = time
 
     def record_batch_flush(self, server: str, n_items: int, appended_bytes: int,
                            time: float) -> None:

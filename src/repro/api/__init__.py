@@ -18,7 +18,12 @@ remain as thin shims over this API.
 
 from __future__ import annotations
 
-from ..config import ExperimentConfig
+from ..config import ExperimentConfig, RegionSpec, TopologyConfig
+from ..topology import (
+    register_algorithm,
+    register_latency_profile,
+    register_ledger_backend,
+)
 from .builder import Scenario, ScenarioBuilder
 from .registry import (
     ScenarioEntry,
@@ -54,6 +59,11 @@ __all__ = [
     "ScenarioEntry",
     "Session",
     "RunResult",
+    "RegionSpec",
+    "TopologyConfig",
+    "register_algorithm",
+    "register_ledger_backend",
+    "register_latency_profile",
     "run",
     "register_scenario",
     "unregister_scenario",

@@ -19,21 +19,19 @@ hint instead of silently constructing the wrong experiment.
 
 from __future__ import annotations
 
-import difflib
 from dataclasses import fields
 from typing import Any, Mapping
 
 from ..config import (
     ExperimentConfig,
     LedgerConfig,
+    RegionSpec,
     SetchainConfig,
+    TopologyConfig,
     WorkloadConfig,
 )
-from ..errors import ConfigurationError
-
-#: Algorithms accepted by the builder — the single source of truth is the
-#: config layer, so a new algorithm is picked up here automatically.
-ALGORITHMS = ExperimentConfig._ALGORITHMS
+from ..errors import ConfigurationError, did_you_mean
+from ..topology import plugins as _plugins
 
 _LAYER_FIELDS: dict[str, tuple[str, ...]] = {
     "setchain": tuple(f.name for f in fields(SetchainConfig)),
@@ -44,16 +42,7 @@ _LAYER_FIELDS: dict[str, tuple[str, ...]] = {
 _TOP_FIELDS = ("ledger_backend", "drain_duration", "label")
 
 
-def _did_you_mean(unknown: str, candidates: list[str]) -> str:
-    """Format a helpful suffix naming the closest valid spellings."""
-    close = difflib.get_close_matches(unknown, candidates, n=3, cutoff=0.5)
-    if close:
-        return f"; did you mean {' or '.join(repr(c) for c in close)}?"
-    shown = sorted(candidates)
-    if len(shown) > 10:
-        return (f"; valid names include {', '.join(shown[:10])}, "
-                f"… ({len(shown)} total)")
-    return f"; valid names: {', '.join(shown)}"
+_did_you_mean = did_you_mean
 
 
 def default_label(algorithm: str, sending_rate: float, collector_limit: int,
@@ -78,18 +67,21 @@ class ScenarioBuilder:
     or pass the algorithm name directly.  Every setter returns a new builder.
     """
 
-    __slots__ = ("_algorithm", "_setchain", "_ledger", "_workload", "_top")
+    __slots__ = ("_algorithm", "_setchain", "_ledger", "_workload", "_top",
+                 "_topology")
 
     def __init__(self, algorithm: str = "hashchain") -> None:
-        if algorithm not in ALGORITHMS:
+        if not _plugins.has_algorithm(algorithm):
             raise ConfigurationError(
                 f"unknown algorithm {algorithm!r}"
-                + _did_you_mean(algorithm, list(ALGORITHMS)))
+                + _did_you_mean(algorithm, _plugins.algorithm_names()))
         self._algorithm = algorithm
         self._setchain: dict[str, Any] = {}
         self._ledger: dict[str, Any] = {}
         self._workload: dict[str, Any] = {}
         self._top: dict[str, Any] = {}
+        #: Topology declaration: regions + link-quality knobs (see .region()).
+        self._topology: dict[str, Any] = {}
 
     # -- construction entry points --------------------------------------------
 
@@ -133,6 +125,16 @@ class ScenarioBuilder:
         builder._top = {"ledger_backend": config.ledger_backend,
                         "drain_duration": config.drain_duration,
                         "label": config.label}
+        if config.topology is not None:
+            topology = config.topology
+            builder._topology = {
+                "regions": [(r.name, r.servers, r.algorithm)
+                            for r in topology.regions],
+                "intra_profile": topology.intra_profile,
+                "inter_delay": topology.inter_delay,
+                "inter_jitter": topology.inter_jitter,
+                "links": [tuple(link) for link in topology.links],
+            }
         return builder
 
     # -- internals -------------------------------------------------------------
@@ -144,6 +146,8 @@ class ScenarioBuilder:
         clone._ledger = dict(self._ledger)
         clone._workload = dict(self._workload)
         clone._top = dict(self._top)
+        clone._topology = {key: list(value) if isinstance(value, list) else value
+                           for key, value in self._topology.items()}
         if layer is not None:
             getattr(clone, f"_{layer}").update(overrides)
         return clone
@@ -156,7 +160,7 @@ class ScenarioBuilder:
 
     def __repr__(self) -> str:
         parts = [f"algorithm={self._algorithm!r}"]
-        for layer in ("setchain", "ledger", "workload", "top"):
+        for layer in ("setchain", "ledger", "workload", "top", "topology"):
             overrides = getattr(self, f"_{layer}")
             if overrides:
                 parts.append(f"{layer}={overrides!r}")
@@ -191,6 +195,82 @@ class ScenarioBuilder:
         """Tolerate up to ``f`` Byzantine servers (requires ``f < n/2``)."""
         return self._fork("setchain", f=int(f))
 
+    # -- topology: regions, link quality, heterogeneous clusters ----------------
+
+    def region(self, name: str, servers: int,
+               algorithm: str | None = None) -> "ScenarioBuilder":
+        """Declare a named region holding ``servers`` servers.
+
+        ``algorithm`` overrides the scenario algorithm for this region's
+        servers (heterogeneous cluster); any registered algorithm name is
+        accepted.  Declaring regions fixes the total server count to the sum
+        of the region sizes.
+        """
+        if algorithm is not None and not _plugins.has_algorithm(algorithm):
+            raise ConfigurationError(
+                f"unknown algorithm {algorithm!r}"
+                + _did_you_mean(algorithm, _plugins.algorithm_names()))
+        clone = self._fork()
+        regions = clone._topology.setdefault("regions", [])
+        regions.append((str(name), int(servers), algorithm))
+        return clone
+
+    def wan(self, inter_ms: float = 50.0, jitter_ms: float = 10.0,
+            intra: str | None = None) -> "ScenarioBuilder":
+        """Wide-area link quality between regions.
+
+        ``inter_ms`` is the base one-way cross-region delay, ``jitter_ms``
+        the uniform extra-delay width on cross-region messages; ``intra``
+        optionally selects a registered latency profile for intra-region
+        links ("lan" by default).  Requires :meth:`region` declarations (or
+        :meth:`mixed`) by build time.
+        """
+        if intra is not None and not _plugins.has_latency_profile(intra):
+            raise ConfigurationError(
+                f"unknown latency profile {intra!r}"
+                + _did_you_mean(intra, _plugins.latency_profile_names()))
+        clone = self._fork()
+        clone._topology["inter_delay"] = float(inter_ms) / 1000.0
+        clone._topology["inter_jitter"] = float(jitter_ms) / 1000.0
+        if intra is not None:
+            clone._topology["intra_profile"] = intra
+        return clone
+
+    def link(self, region_a: str, region_b: str, ms: float) -> "ScenarioBuilder":
+        """Override the one-way delay of one region pair (geo delay matrix)."""
+        clone = self._fork()
+        links = clone._topology.setdefault("links", [])
+        links.append((str(region_a), str(region_b), float(ms) / 1000.0))
+        return clone
+
+    def mixed(self, **servers_by_algorithm: int) -> "ScenarioBuilder":
+        """Heterogeneous co-located cluster: one region per algorithm.
+
+        ``Scenario.hashchain().mixed(vanilla=2, hashchain=2)`` builds a
+        4-server cluster where two servers run Vanilla and two run Hashchain
+        over the same ledger.  Keyword names are registered algorithm names
+        with ``-`` spelled ``_``; combine with :meth:`wan` to spread the
+        groups across a wide-area network.
+        """
+        if not servers_by_algorithm:
+            raise ConfigurationError(
+                "mixed() needs at least one algorithm=count argument")
+        clone = self._fork()
+        regions = clone._topology.setdefault("regions", [])
+        for keyword, count in servers_by_algorithm.items():
+            # Prefer the literal keyword (third-party names may genuinely
+            # contain underscores); fall back to the '-' spelling for the
+            # builtins ("hashchain_light" -> "hashchain-light").
+            algorithm = keyword
+            if not _plugins.has_algorithm(algorithm):
+                algorithm = keyword.replace("_", "-")
+            if not _plugins.has_algorithm(algorithm):
+                raise ConfigurationError(
+                    f"unknown algorithm {algorithm!r}"
+                    + _did_you_mean(algorithm, _plugins.algorithm_names()))
+            regions.append((algorithm, int(count), algorithm))
+        return clone
+
     # -- ledger knobs ----------------------------------------------------------
 
     def block_size(self, size_bytes: int) -> "ScenarioBuilder":
@@ -202,11 +282,12 @@ class ScenarioBuilder:
         return self._fork("ledger", block_rate=float(blocks_per_second))
 
     def backend(self, name: str) -> "ScenarioBuilder":
-        """Ledger backend: ``"cometbft"`` (full consensus) or ``"ideal"``."""
-        if name not in ExperimentConfig._BACKENDS:
+        """Ledger backend: ``"cometbft"`` (full consensus), ``"ideal"``
+        (centralized sequencer), or any registered third-party backend."""
+        if not _plugins.has_ledger_backend(name):
             raise ConfigurationError(
                 f"unknown ledger backend {name!r}"
-                + _did_you_mean(name, list(ExperimentConfig._BACKENDS)))
+                + _did_you_mean(name, _plugins.ledger_backend_names()))
         return self._fork_top(ledger_backend=name)
 
     # -- workload knobs --------------------------------------------------------
@@ -281,9 +362,37 @@ class ScenarioBuilder:
 
     # -- terminal operations ---------------------------------------------------
 
+    def _build_topology(self) -> TopologyConfig | None:
+        spec = self._topology
+        if not spec:
+            return None
+        regions = spec.get("regions")
+        if not regions:
+            raise ConfigurationError(
+                "wan()/link() describe inter-region links; declare regions "
+                "first with region(name, servers) or mixed(algo=count)")
+        return TopologyConfig(
+            regions=tuple(RegionSpec(name, servers, algorithm)
+                          for name, servers, algorithm in regions),
+            intra_profile=spec.get("intra_profile", "lan"),
+            inter_delay=spec.get("inter_delay", 0.0),
+            inter_jitter=spec.get("inter_jitter", 0.0),
+            links=tuple(spec.get("links", ())),
+        )
+
     def build(self) -> ExperimentConfig:
         """Materialise the validated, frozen :class:`ExperimentConfig`."""
-        setchain = SetchainConfig(**self._setchain)
+        topology = self._build_topology()
+        setchain_overrides = dict(self._setchain)
+        if topology is not None:
+            declared = setchain_overrides.get("n_servers")
+            if declared is not None and declared != topology.n_servers:
+                raise ConfigurationError(
+                    f"servers({declared}) conflicts with the "
+                    f"{topology.n_servers} server(s) declared by the regions; "
+                    "drop servers() — regions fix the cluster size")
+            setchain_overrides["n_servers"] = topology.n_servers
+        setchain = SetchainConfig(**setchain_overrides)
         ledger = LedgerConfig(**self._ledger)
         workload = WorkloadConfig(**self._workload)
         top = dict(self._top)
@@ -292,7 +401,7 @@ class ScenarioBuilder:
             setchain.collector_limit, setchain.n_servers)
         return ExperimentConfig(algorithm=self._algorithm, setchain=setchain,
                                 ledger=ledger, workload=workload, label=label,
-                                **top)
+                                topology=topology, **top)
 
     def run(self, scale: float = 1.0, *, seed: int | None = None,
             to_completion: bool = False):

@@ -10,6 +10,9 @@ Importing this module — done lazily by the registry on its first access, see
 * ``stress/...`` — saturation scenarios past the analytical ceilings;
 * ``byzantine/...`` — runs with an explicit Byzantine tolerance ``f``;
 * ``burst/...`` — short high-rate injection spikes with long drains;
+* ``wan/...`` — homogeneous clusters split across regions over wide-area links;
+* ``geo/...`` — geo-distributed sites with per-pair delay matrices and jitter;
+* ``mixed/...`` — heterogeneous clusters (per-region algorithms, one ledger);
 * ``bench/...`` — the pinned ``bench-smoke`` set measured by :mod:`repro.bench`;
 * ``quickstart`` / ``smoke`` — small scenarios that finish in seconds.
 
@@ -179,6 +182,153 @@ register_scenario(
     description="Bench: 4-server hashchain over real ed25519 signatures",
 )(lambda: Scenario.hashchain().servers(4).rate(100).collector(20)
   .inject_for(5).drain(40).signature("ed25519"))
+
+
+# -- wide-area topologies (repro.topology) ------------------------------------
+# Homogeneous clusters spread across regions with tens-of-milliseconds
+# inter-region links (the geo-distribution discussion of the paper's §5),
+# modelling per-region link quality rather than the single uniform
+# network_delay knob of Table 1.
+
+def _register_wan() -> None:
+    for algorithm in ("vanilla", "compresschain", "hashchain"):
+        for delay_ms in (30, 60, 100):
+            register_scenario(
+                f"wan/{algorithm}/2region-d{delay_ms}",
+                tags=("wan", "topology", algorithm),
+                description=(f"{algorithm} split 5+5 across two regions, "
+                             f"{delay_ms} ms inter-region delay"),
+            )(lambda a=algorithm, d=delay_ms: Scenario(a)
+              .region("us-east", 5).region("eu-west", 5)
+              .wan(inter_ms=d, jitter_ms=d / 5).rate(5_000))
+    for delay_ms in (30, 60, 100):
+        register_scenario(
+            f"wan/hashchain/3region-d{delay_ms}",
+            tags=("wan", "topology", "hashchain"),
+            description=(f"hashchain split 4+3+3 across three regions, "
+                         f"{delay_ms} ms inter-region delay"),
+        )(lambda d=delay_ms: Scenario.hashchain()
+          .region("us-east", 4).region("eu-west", 3).region("ap-south", 3)
+          .wan(inter_ms=d, jitter_ms=d / 5).rate(5_000))
+    register_scenario(
+        "wan/hashchain/wan-intra", tags=("wan", "topology", "hashchain"),
+        description="hashchain on WAN links even within the single region",
+    )(lambda: Scenario.hashchain().region("site", 10)
+      .wan(inter_ms=0, jitter_ms=0, intra="wan").rate(5_000))
+    register_scenario(
+        "wan/hashchain/smoke", tags=("wan", "topology", "hashchain", "ci"),
+        description="small 2+2 two-region hashchain over 30 ms links; ~seconds",
+    )(lambda: Scenario.hashchain().region("us", 2).region("eu", 2)
+      .wan(inter_ms=30, jitter_ms=5).rate(200).collector(20)
+      .inject_for(5).drain(40).backend("ideal"))
+
+
+_register_wan()
+
+
+# -- geo-distributed delay matrices -------------------------------------------
+# Named sites with a per-pair one-way delay matrix (rough transatlantic /
+# transpacific figures) instead of one uniform inter-region delay.
+
+def _geo_us_eu_ap(algorithm: str) -> Scenario:
+    return (Scenario(algorithm)
+            .region("us", 3).region("eu", 3).region("ap", 3)
+            .wan(inter_ms=80, jitter_ms=15)
+            .link("us", "eu", 40).link("us", "ap", 90).link("eu", "ap", 80)
+            .rate(4_500))
+
+
+def _register_geo() -> None:
+    for algorithm in ("vanilla", "compresschain", "hashchain"):
+        register_scenario(
+            f"geo/{algorithm}/us-eu-ap", tags=("geo", "topology", algorithm),
+            description=(f"{algorithm} across us/eu/ap with a measured-style "
+                         "delay matrix (40/90/80 ms)"),
+        )(lambda a=algorithm: _geo_us_eu_ap(a))
+    register_scenario(
+        "geo/hashchain/us-eu", tags=("geo", "topology", "hashchain"),
+        description="hashchain 5+5 across the Atlantic (40 ms, 10 ms jitter)",
+    )(lambda: Scenario.hashchain().region("us", 5).region("eu", 5)
+      .wan(inter_ms=40, jitter_ms=10).rate(5_000))
+    register_scenario(
+        "geo/hashchain/us-eu-ap-c500", tags=("geo", "topology", "hashchain"),
+        description="us/eu/ap hashchain with collector 500 (latency amortised)",
+    )(lambda: _geo_us_eu_ap("hashchain").collector(500))
+    register_scenario(
+        "geo/hashchain/global-5", tags=("geo", "topology", "hashchain"),
+        description="five 2-server sites, 80 ms default + per-pair overrides",
+    )(lambda: Scenario.hashchain()
+      .region("us", 2).region("eu", 2).region("ap", 2)
+      .region("sa", 2).region("af", 2)
+      .wan(inter_ms=80, jitter_ms=20)
+      .link("us", "eu", 40).link("us", "sa", 60).link("eu", "af", 50)
+      .rate(4_000))
+    register_scenario(
+        "geo/hashchain/high-jitter", tags=("geo", "topology", "hashchain"),
+        description="two regions with 30 ms base but 60 ms jitter (lossy path)",
+    )(lambda: Scenario.hashchain().region("us", 5).region("eu", 5)
+      .wan(inter_ms=30, jitter_ms=60).rate(5_000))
+    register_scenario(
+        "geo/hashchain/smoke", tags=("geo", "topology", "hashchain", "ci"),
+        description="small us/eu/ap hashchain over the ideal ledger; ~seconds",
+    )(lambda: Scenario.hashchain().region("us", 2).region("eu", 1).region("ap", 1)
+      .wan(inter_ms=60, jitter_ms=10).link("us", "eu", 40)
+      .rate(200).collector(20).inject_for(5).drain(40).backend("ideal"))
+
+
+_register_geo()
+
+
+# -- heterogeneous (mixed-algorithm) clusters ---------------------------------
+# Per-region algorithm assignment over one shared ledger: each algorithm
+# group is its own Setchain instance multi-tenanted on the consensus
+# substrate (cross-group epoch agreement is not claimed — see
+# Deployment.algorithm_groups).
+
+def _register_mixed() -> None:
+    pairs = (("vanilla", "hashchain"), ("vanilla", "compresschain"),
+             ("compresschain", "hashchain"))
+    for first, second in pairs:
+        for n in (4, 6, 10):
+            register_scenario(
+                f"mixed/{first}-{second}/n{n}",
+                tags=("mixed", "topology", first, second),
+                description=(f"{n}-server cluster split "
+                             f"{n // 2} {first} + {n - n // 2} {second}"),
+            )(lambda a=first, b=second, total=n: Scenario(a)
+              .region(a, total // 2, a).region(b, total - total // 2, b)
+              .rate(2_000).collector(100))
+    register_scenario(
+        "mixed/tri/n6", tags=("mixed", "topology"),
+        description="2 vanilla + 2 compresschain + 2 hashchain on one ledger",
+    )(lambda: Scenario.hashchain()
+      .mixed(vanilla=2, compresschain=2, hashchain=2).rate(2_000))
+    register_scenario(
+        "mixed/light/hashchain-vs-light-n4", tags=("mixed", "topology", "hashchain"),
+        description="full hashchain beside its light ablation (2+2)",
+    )(lambda: Scenario.hashchain().mixed(hashchain=2, hashchain_light=2)
+      .rate(2_000))
+    register_scenario(
+        "mixed/wan/vanilla-hashchain-d60", tags=("mixed", "wan", "topology"),
+        description="vanilla region vs hashchain region over 60 ms links",
+    )(lambda: Scenario.hashchain()
+      .region("legacy", 3, "vanilla").region("modern", 3, "hashchain")
+      .wan(inter_ms=60, jitter_ms=10).rate(2_000))
+    register_scenario(
+        "mixed/wan/compresschain-hashchain-d60", tags=("mixed", "wan", "topology"),
+        description="compresschain region vs hashchain region over 60 ms links",
+    )(lambda: Scenario.hashchain()
+      .region("compress", 3, "compresschain").region("hash", 3, "hashchain")
+      .wan(inter_ms=60, jitter_ms=10).rate(2_000))
+    register_scenario(
+        "mixed/smoke", tags=("mixed", "topology", "ci"),
+        description="2 vanilla + 2 hashchain, f=1, ideal ledger; ~seconds",
+    )(lambda: Scenario.hashchain().mixed(vanilla=2, hashchain=2)
+      .byzantine(f=1).rate(200).collector(20)
+      .inject_for(5).drain(60).backend("ideal"))
+
+
+_register_mixed()
 
 
 # -- small, fast scenarios ----------------------------------------------------

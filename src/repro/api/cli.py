@@ -2,14 +2,16 @@
 
 Subcommands:
 
-* ``list-scenarios`` — enumerate the registry (filter by ``--tag`` /
-  ``--contains``, machine-readable with ``--json``);
+* ``list-scenarios`` — enumerate the registry grouped by family (filter by
+  ``--tag`` / ``--contains`` / ``--family``, machine-readable with
+  ``--json``);
 * ``run`` — run one registered scenario, print its summary, and optionally
   persist the :class:`RunResult` as a JSON artifact;
 * ``sweep`` — run every scenario matching a filter and write one JSON
   artifact per run into an output directory;
 * ``report`` — re-render saved :class:`RunResult` JSON artifacts as the
-  standard summary table, without re-running anything.
+  standard summary table (plus a per-region breakdown for multi-region
+  runs), without re-running anything.
 """
 
 from __future__ import annotations
@@ -44,6 +46,8 @@ def _build_parser() -> argparse.ArgumentParser:
                             help="enumerate registered scenarios")
     list_p.add_argument("--tag", help="only scenarios carrying this tag")
     list_p.add_argument("--contains", help="only names containing this substring")
+    list_p.add_argument("--family", help="only scenarios in this family "
+                                         "(the name's first path segment)")
     list_p.add_argument("--json", action="store_true",
                         help="emit one JSON object per line")
 
@@ -105,21 +109,38 @@ def _print_summary(result: RunResult) -> None:
         print(f"  first commit         : {result.first_commit:.2f} s")
 
 
+def _family_of(name: str) -> str:
+    """A scenario's family: the first ``/``-separated segment of its name."""
+    return name.split("/", 1)[0]
+
+
 def _cmd_list(args: argparse.Namespace) -> int:
     entries = iter_scenarios(tag=args.tag, contains=args.contains)
+    if args.family:
+        entries = [e for e in entries if _family_of(e.name) == args.family]
     if args.json:
         for entry in entries:
             print(json.dumps({"name": entry.name,
+                              "family": _family_of(entry.name),
                               "description": entry.description,
                               "tags": sorted(entry.tags)}))
         return 0
     if not entries:
         print("no scenarios match", file=sys.stderr)
         return 1
-    rows = [[entry.name, ",".join(sorted(entry.tags)), entry.description]
-            for entry in entries]
-    print(render_table(["name", "tags", "description"], rows))
-    print(f"\n{len(entries)} scenarios; tags: {', '.join(scenario_tags())}")
+    families: dict[str, list] = {}
+    for entry in entries:
+        families.setdefault(_family_of(entry.name), []).append(entry)
+    blocks = []
+    for family in sorted(families):
+        members = families[family]
+        rows = [[entry.name, ",".join(sorted(entry.tags)), entry.description]
+                for entry in members]
+        blocks.append(render_table(["name", "tags", "description"], rows,
+                                   title=f"[{family}] ({len(members)})"))
+    print("\n\n".join(blocks))
+    print(f"\n{len(entries)} scenarios in {len(families)} families; "
+          f"tags: {', '.join(scenario_tags())}")
     return 0
 
 
@@ -166,6 +187,20 @@ def _cmd_report(args: argparse.Namespace) -> int:
     rows = [[r.label] + r.summary_row()[1:] for r in results]
     headers = ("scenario",) + SUMMARY_HEADERS[1:]
     print(render_table(list(headers), rows))
+    regional = [r for r in results if r.regions]
+    if regional:
+        region_rows = [
+            [result.label, region, stats.get("servers", 0),
+             stats.get("added", 0), stats.get("committed", 0),
+             "-" if stats.get("first_commit") is None
+             else f"{stats['first_commit']:.2f}"]
+            for result in regional
+            for region, stats in sorted(result.regions.items())]
+        print()
+        print(render_table(
+            ["scenario", "region", "servers", "added", "committed",
+             "first commit (s)"],
+            region_rows, title="per-region breakdown"))
     return 0
 
 

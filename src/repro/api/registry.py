@@ -26,8 +26,8 @@ from dataclasses import dataclass, field
 from typing import Callable, Iterable
 
 from ..config import ExperimentConfig
-from ..errors import ConfigurationError
-from .builder import ScenarioBuilder, _did_you_mean, default_label
+from ..errors import ConfigurationError, did_you_mean as _did_you_mean
+from .builder import ScenarioBuilder, default_label
 
 #: A factory producing either a builder or a finished config.
 ScenarioFactory = Callable[[], "ScenarioBuilder | ExperimentConfig"]

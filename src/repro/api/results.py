@@ -21,6 +21,7 @@ from ..config import (
     ExperimentConfig,
     LedgerConfig,
     SetchainConfig,
+    TopologyConfig,
     WorkloadConfig,
 )
 from ..errors import ConfigurationError
@@ -45,6 +46,23 @@ def summary_row(algorithm: str, sending_rate: float, collector_limit: int,
             round(efficiency_100, 3)]
 
 
+def config_echo(config: ExperimentConfig) -> dict[str, Any]:
+    """The nested config dict stored in artifacts.
+
+    The ``topology`` key is serialised through
+    :meth:`~repro.config.TopologyConfig.to_dict` and *omitted entirely* when
+    unset, so artifacts of legacy homogeneous configs are byte-identical to
+    those written before topologies existed.
+    """
+    echo = dataclasses.asdict(config)
+    topology = config.topology
+    if topology is None:
+        del echo["topology"]
+    else:
+        echo["topology"] = topology.to_dict()
+    return echo
+
+
 @dataclass(frozen=True)
 class RunResult:
     """The persistable outcome of one scenario run."""
@@ -67,6 +85,10 @@ class RunResult:
     #: Rolling-throughput series (el/s, paper's 9 s window).
     throughput_times: tuple[float, ...]
     throughput_values: tuple[float, ...]
+    #: Per-region breakdown (servers/added/committed/first_commit), present
+    #: only for multi-region topologies; ``None`` — and absent from the JSON
+    #: artifact — for legacy homogeneous runs.
+    regions: dict[str, dict[str, Any]] | None = None
     schema_version: int = SCHEMA_VERSION
 
     # -- construction ----------------------------------------------------------
@@ -80,7 +102,7 @@ class RunResult:
             label=result.config.label,
             algorithm=result.config.algorithm,
             scale=float(result.scale),
-            config=dataclasses.asdict(result.config),
+            config=config_echo(result.config),
             injected=len(result.deployment.injected_elements),
             committed=result.metrics.committed_count,
             avg_throughput_50s=float(result.avg_throughput_50s),
@@ -90,6 +112,7 @@ class RunResult:
             commit_fractions=fractions,
             throughput_times=result.throughput.times,
             throughput_values=result.throughput.values,
+            regions=result.metrics.region_summary(),
         )
 
     # -- derived views ---------------------------------------------------------
@@ -109,12 +132,15 @@ class RunResult:
     def experiment_config(self) -> ExperimentConfig:
         """Rebuild the validated :class:`ExperimentConfig` from the echo."""
         echo = dict(self.config)
+        topology = echo.get("topology")
         return ExperimentConfig(
             algorithm=echo["algorithm"],
             setchain=SetchainConfig(**echo["setchain"]),
             ledger=LedgerConfig(**echo["ledger"]),
             workload=WorkloadConfig(**echo["workload"]),
             ledger_backend=echo["ledger_backend"],
+            topology=(None if topology is None
+                      else TopologyConfig.from_dict(topology)),
             drain_duration=echo["drain_duration"],
             label=echo["label"],
         )
@@ -136,6 +162,10 @@ class RunResult:
         data["commit_fractions"] = [list(pair) for pair in self.commit_fractions]
         data["throughput_times"] = list(self.throughput_times)
         data["throughput_values"] = list(self.throughput_values)
+        if data["regions"] is None:
+            # Keep homogeneous artifacts byte-identical to the pre-topology
+            # schema (the key only appears for multi-region runs).
+            del data["regions"]
         return data
 
     @classmethod
@@ -157,9 +187,20 @@ class RunResult:
         unknown = sorted(set(payload) - known)
         if unknown:
             raise ConfigurationError(f"unknown RunResult fields: {unknown}")
-        missing = sorted(known - {"schema_version"} - set(payload))
+        missing = sorted(known - {"schema_version", "regions"} - set(payload))
         if missing:
             raise ConfigurationError(f"missing RunResult fields: {missing}")
+        regions = payload.get("regions")
+        if regions is not None and (
+                not isinstance(regions, Mapping)
+                or not all(isinstance(stats, Mapping)
+                           for stats in regions.values())):
+            raise ConfigurationError(
+                "malformed RunResult regions: expected an object of per-region "
+                "stat objects")
+        if regions is not None:
+            payload["regions"] = {str(region): dict(stats)
+                                  for region, stats in regions.items()}
         config = payload["config"]
         config_keys = {"algorithm", "setchain", "ledger", "workload",
                        "ledger_backend", "drain_duration", "label"}

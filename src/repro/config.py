@@ -12,6 +12,7 @@ from dataclasses import dataclass, field, replace
 from typing import Sequence
 
 from .errors import ConfigurationError
+from .topology.regions import RegionSpec, TopologyConfig  # noqa: F401  (re-export)
 
 # -- Paper constants (Section 4, "Experiment Scenarios") ---------------------
 
@@ -164,33 +165,66 @@ class ExperimentConfig:
     setchain: SetchainConfig = field(default_factory=SetchainConfig)
     ledger: LedgerConfig = field(default_factory=LedgerConfig)
     workload: WorkloadConfig = field(default_factory=WorkloadConfig)
-    #: Which ledger implementation backs the run: "cometbft" (full consensus
-    #: simulation) or "ideal" (centralized sequencer, fast sweeps).
+    #: Which ledger implementation backs the run.  Any registered backend name
+    #: is accepted; "cometbft" (full consensus simulation) and "ideal"
+    #: (centralized sequencer, fast sweeps) are built in.
     ledger_backend: str = "cometbft"
+    #: Multi-region/heterogeneous deployment description.  ``None`` (the
+    #: default) is the paper's homogeneous single-site cluster.
+    topology: TopologyConfig | None = None
     #: Total simulated time to run after injection stops (seconds).
     drain_duration: float = 100.0
     #: Label used by reports.
     label: str = ""
 
-    _ALGORITHMS = ("vanilla", "compresschain", "hashchain", "hashchain-light",
-                   "compresschain-light")
-    _BACKENDS = ("cometbft", "ideal")
-
     def __post_init__(self) -> None:
-        if self.algorithm not in self._ALGORITHMS:
+        # Imported lazily: the registries load the builtin plugin module,
+        # which imports the core/ledger layers (and, transitively, this one).
+        from .topology import plugins
+        if not plugins.has_algorithm(self.algorithm):
             raise ConfigurationError(
-                f"unknown algorithm {self.algorithm!r}; expected one of {self._ALGORITHMS}"
-            )
-        if self.ledger_backend not in self._BACKENDS:
+                f"unknown algorithm {self.algorithm!r}; registered algorithms "
+                f"are {tuple(plugins.algorithm_names())}")
+        if not plugins.has_ledger_backend(self.ledger_backend):
             raise ConfigurationError(
-                f"unknown ledger backend {self.ledger_backend!r}; expected one of {self._BACKENDS}"
-            )
+                f"unknown ledger backend {self.ledger_backend!r}; registered "
+                f"backends are {tuple(plugins.ledger_backend_names())}")
         if self.drain_duration < 0:
             raise ConfigurationError("drain_duration cannot be negative")
+        topology = self.topology
+        if topology is not None:
+            if topology.n_servers != self.setchain.n_servers:
+                raise ConfigurationError(
+                    f"topology places {topology.n_servers} server(s) but "
+                    f"setchain.n_servers is {self.setchain.n_servers}")
+            if not plugins.has_latency_profile(topology.intra_profile):
+                raise ConfigurationError(
+                    f"unknown latency profile {topology.intra_profile!r}; "
+                    f"registered profiles are "
+                    f"{tuple(plugins.latency_profile_names())}")
+            for region in topology.regions:
+                if (region.algorithm is not None
+                        and not plugins.has_algorithm(region.algorithm)):
+                    raise ConfigurationError(
+                        f"region {region.name!r} uses unknown algorithm "
+                        f"{region.algorithm!r}; registered algorithms are "
+                        f"{tuple(plugins.algorithm_names())}")
 
     @property
     def total_duration(self) -> float:
         return self.workload.injection_duration + self.drain_duration
+
+    @property
+    def is_heterogeneous(self) -> bool:
+        """True when regions run more than one algorithm."""
+        return (self.topology is not None
+                and self.topology.is_heterogeneous(self.algorithm))
+
+    def server_assignments(self) -> list[tuple[str | None, str]]:
+        """Per-server ``(region-or-None, algorithm)`` in deployment order."""
+        if self.topology is None:
+            return [(None, self.algorithm)] * self.setchain.n_servers
+        return list(self.topology.assignments(self.algorithm))
 
     def with_overrides(self, **kwargs: object) -> "ExperimentConfig":
         """Return a copy with top-level fields replaced."""

@@ -94,6 +94,17 @@ class BaseSetchainServer(NetworkNode, Application):
     def start(self) -> None:
         """Hook for subclasses that need startup work (default: none)."""
 
+    def algorithm_group(self) -> str:
+        """Interoperability group key for heterogeneous deployments.
+
+        Servers in the same group speak the same ledger wire format and are
+        expected to agree on epochs (Properties 3 and 6 are checked within a
+        group).  By default every algorithm is its own group — even the light
+        variants, whose out-of-band stores do not serve the full variants'
+        batches.
+        """
+        return self.algorithm
+
     # -- Setchain API (paper §2) -------------------------------------------------
 
     def add(self, element: Element) -> bool:

@@ -5,6 +5,14 @@ containers, each holding one client, one collector, and one ledger server,
 become ``n`` triples of (injection client, Setchain server, ledger node) wired
 over a latency-modelled network, plus a metrics collector standing in for the
 log analysis pipeline.
+
+Construction is composed in stages from the :mod:`repro.topology` registries
+— latency profile, ledger backend, then one algorithm factory per server — so
+new algorithms, backends, and link models plug in without editing this
+module.  A :class:`~repro.config.TopologyConfig` on the experiment config
+generalises the paper's homogeneous LAN cluster to named regions with
+per-region algorithms (heterogeneous clusters) and inter-region delay
+matrices; configs without a topology build exactly the legacy deployment.
 """
 
 from __future__ import annotations
@@ -12,25 +20,24 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..analysis.metrics import MetricsCollector
-from ..compressor.factory import make_compressor
 from ..config import ExperimentConfig
 from ..crypto.keys import PublicKeyInfrastructure
 from ..crypto.signatures import SignatureScheme, make_scheme
-from ..errors import ConfigurationError
-from ..ledger.cometbft.engine import CometBFTNetwork
-from ..ledger.ideal import IdealLedger
-from ..net.latency import lan_profile
+from ..net.latency import LatencyModel, RegionalLatency
 from ..net.network import Network
 from ..sim.scheduler import Simulator
+from ..topology.plugins import (
+    DeploymentContext,
+    LedgerBackend,
+    get_algorithm,
+    get_latency_profile,
+    get_ledger_backend,
+)
 from ..workload.clients import ClientPool
 from ..workload.elements import Element
 from .base import BaseSetchainServer
-from .batch_store import BatchStore
-from .compresschain import CompresschainServer
-from .hashchain import HashchainServer
 from .properties import check_all
 from .types import SetchainView
-from .vanilla import VanillaServer
 
 
 @dataclass
@@ -44,15 +51,16 @@ class Deployment:
     servers: list[BaseSetchainServer]
     clients: ClientPool
     metrics: MetricsCollector
-    ledger_backend: object
+    ledger_backend: LedgerBackend
     injected_elements: list[Element] = field(default_factory=list)
+    #: Server name -> region name (empty for homogeneous deployments).
+    region_of: dict[str, str] = field(default_factory=dict)
 
     # -- running ------------------------------------------------------------------
 
     def start(self) -> None:
         """Start ledger block production, servers, and client injection."""
-        backend = self.ledger_backend
-        backend.start()  # type: ignore[attr-defined]
+        self.ledger_backend.start()
         for server in self.servers:
             server.start()
         self.clients.start()
@@ -86,11 +94,30 @@ class Deployment:
         """get() snapshots of every (assumed-correct) server."""
         return {server.name: server.get() for server in self.servers}
 
+    def algorithm_groups(self) -> dict[str, str]:
+        """Server name -> algorithm-group key for heterogeneous clusters.
+
+        Servers running different algorithms speak different wire formats over
+        the shared ledger: each algorithm group is its own Setchain instance
+        (multi-tenant over one consensus substrate), so cross-server agreement
+        is scoped to the group.
+        """
+        return {server.name: server.algorithm_group()
+                for server in self.servers}
+
     def check_properties(self, include_liveness: bool = True):  # type: ignore[no-untyped-def]
-        """Run the Property 1-8 checkers over the current views."""
+        """Run the Property 1-8 checkers over the current views.
+
+        The quorum is always computed over the *full* server set
+        (``config.setchain.quorum``).  For heterogeneous deployments the
+        cross-server properties (Get-Global, Consistent-Gets) are checked
+        within each algorithm group — see :meth:`algorithm_groups`.
+        """
+        groups = (self.algorithm_groups()
+                  if self.config.is_heterogeneous else None)
         return check_all(self.views(), quorum=self.config.setchain.quorum,
                          all_added=self.injected_elements,
-                         include_liveness=include_liveness)
+                         include_liveness=include_liveness, groups=groups)
 
     @property
     def committed_fraction(self) -> float:
@@ -100,53 +127,88 @@ class Deployment:
         return self.metrics.committed_count / len(self.injected_elements)
 
 
+def build_latency(config: ExperimentConfig) -> LatencyModel:
+    """Stage 1: the latency model, from the profile/topology registries.
+
+    Without a topology this is exactly the legacy LAN profile.  With one, the
+    intra-region profile is wrapped in a :class:`RegionalLatency` carrying
+    the inter-region delay matrix.  Only the servers are mapped here; ledger
+    nodes are co-located with their servers by :func:`build_deployment` once
+    the backend has built them (see :func:`colocate_ledger_nodes`), so the
+    mapping works for any registered backend, not one naming convention.
+    """
+    topology = config.topology
+    network_delay = config.ledger.network_delay
+    if topology is None:
+        return get_latency_profile("lan")(network_delay)
+    intra = get_latency_profile(topology.intra_profile)(0.0)
+    region_of: dict[str, str] = {}
+    for index, (region, _algorithm) in enumerate(config.server_assignments()):
+        assert region is not None
+        region_of[f"server-{index}"] = region
+    links = {frozenset((a, b)): delay for a, b, delay in topology.links}
+    return RegionalLatency(region_of, intra,
+                           inter_delay=topology.inter_delay,
+                           inter_jitter=topology.inter_jitter,
+                           links=links, extra_delay=network_delay)
+
+
+def colocate_ledger_nodes(latency: LatencyModel, network: Network,
+                          ledger_handles: list, assignments: list) -> None:
+    """Place each per-server ledger node in its server's region.
+
+    ``ledger_handles[i]`` serves ``server-i``; when the handle is itself a
+    node on the simulated network (e.g. a CometBFT validator), its consensus
+    traffic must pay the same inter-region delays as its co-located server.
+    Handles that are plain objects (the ideal ledger's sequencer handles)
+    exchange no network messages and are skipped.
+    """
+    if not isinstance(latency, RegionalLatency):
+        return
+    for index, handle in enumerate(ledger_handles):
+        name = getattr(handle, "name", None)
+        region = assignments[index][0]
+        if name is not None and name in network and region is not None:
+            latency.region_of[name] = region
+
+
 def build_deployment(config: ExperimentConfig, seed: int | None = None) -> Deployment:
-    """Construct (but do not start) a full deployment for ``config``."""
+    """Construct (but do not start) a full deployment for ``config``.
+
+    Stages: simulator → latency model → network → signature scheme → ledger
+    backend → one registered algorithm factory per server → injection
+    clients.  Every stage resolves through the :mod:`repro.topology`
+    registries, so third-party algorithms/backends/profiles registered from
+    user code participate without core edits.
+    """
     sim = Simulator(seed=seed if seed is not None else config.workload.seed)
-    latency = lan_profile(network_delay=config.ledger.network_delay)
+    latency = build_latency(config)
     network = Network(sim, latency=latency)
     pki = PublicKeyInfrastructure()
     scheme = make_scheme(config.setchain.signature_scheme, pki)
     metrics = MetricsCollector()
 
     n = config.setchain.n_servers
-    algorithm = config.algorithm
-    light = algorithm.endswith("-light")
-    base_algorithm = algorithm.replace("-light", "")
+    ledger_backend, ledger_handles = get_ledger_backend(config.ledger_backend)(
+        sim, network, n, config)
 
-    # Ledger backend: either a full CometBFT validator per server or one
-    # shared ideal sequencer.
-    if config.ledger_backend == "cometbft":
-        cometbft = CometBFTNetwork(sim, network, n, config.ledger)
-        ledger_handles = cometbft.node_list()
-        ledger_backend: object = cometbft
-    else:
-        ideal = IdealLedger(sim, config.ledger)
-        ledger_handles = [ideal.handle_for(f"server-{i}") for i in range(n)]
-        ledger_backend = ideal
-
-    shared_store = BatchStore() if (light and base_algorithm == "hashchain") else None
-
+    assignments = config.server_assignments()
+    colocate_ledger_nodes(latency, network, ledger_handles, assignments)
+    region_of: dict[str, str] = {}
+    context = DeploymentContext(sim=sim, network=network, config=config,
+                                scheme=scheme, metrics=metrics)
     servers: list[BaseSetchainServer] = []
-    for index in range(n):
+    for index, (region, algorithm) in enumerate(assignments):
         name = f"server-{index}"
         keypair = scheme.generate_keypair(name, deployment_seed=config.workload.seed)
-        if base_algorithm == "vanilla":
-            server: BaseSetchainServer = VanillaServer(
-                name, sim, config.setchain, scheme, keypair, metrics=metrics)
-        elif base_algorithm == "compresschain":
-            compressor = make_compressor(config.setchain.compressor)
-            server = CompresschainServer(name, sim, config.setchain, scheme, keypair,
-                                         compressor, metrics=metrics, light=light)
-        elif base_algorithm == "hashchain":
-            server = HashchainServer(name, sim, config.setchain, scheme, keypair,
-                                     metrics=metrics, light=light,
-                                     shared_store=shared_store)
-        else:  # pragma: no cover - guarded by ExperimentConfig validation
-            raise ConfigurationError(f"unknown algorithm {algorithm!r}")
+        server = get_algorithm(algorithm)(context, name, keypair)
         network.register(server)
         server.connect_ledger(ledger_handles[index])
         servers.append(server)
+        if region is not None:
+            region_of[name] = region
+    if region_of:
+        metrics.set_region_map(region_of)
 
     injected: list[Element] = []
 
@@ -159,7 +221,8 @@ def build_deployment(config: ExperimentConfig, seed: int | None = None) -> Deplo
 
     return Deployment(config=config, sim=sim, network=network, scheme=scheme,
                       servers=servers, clients=clients, metrics=metrics,
-                      ledger_backend=ledger_backend, injected_elements=injected)
+                      ledger_backend=ledger_backend, injected_elements=injected,
+                      region_of=region_of)
 
 
 def run_experiment(config: ExperimentConfig, seed: int | None = None,

@@ -136,8 +136,19 @@ def check_valid_epoch_proofs(view: SetchainView, quorum: int,
 def check_all(views: Mapping[str, SetchainView], quorum: int,
               all_added: Sequence[Element] | None = None,
               added_per_server: Mapping[str, Sequence[Element]] | None = None,
-              include_liveness: bool = True) -> list[PropertyViolation]:
-    """Run every applicable property checker over the given correct-server views."""
+              include_liveness: bool = True,
+              groups: Mapping[str, str] | None = None) -> list[PropertyViolation]:
+    """Run every applicable property checker over the given correct-server views.
+
+    ``groups`` (server name -> group key) scopes the cross-server properties
+    (3, Get-Global; 6, Consistent-Gets) to servers in the same group.  A
+    heterogeneous deployment passes its algorithm groups here: servers running
+    different algorithms are separate Setchain instances sharing one ledger
+    substrate, so cross-group epoch agreement is neither expected nor claimed.
+    The per-view properties (1, 2, 4, 5, 7, 8) and the quorum are always over
+    the full server set.  ``groups=None`` (or a single group) checks every
+    pair, exactly as before.
+    """
     violations: list[PropertyViolation] = []
     for server, view in views.items():
         violations.extend(check_consistent_sets(view, server))
@@ -149,7 +160,15 @@ def check_all(views: Mapping[str, SetchainView], quorum: int,
             violations.extend(check_valid_epoch_proofs(view, quorum, server))
             if added_per_server is not None and server in added_per_server:
                 violations.extend(check_add_get_local(view, added_per_server[server], server))
-    violations.extend(check_consistent_gets(views))
-    if include_liveness:
-        violations.extend(check_get_global(views))
+    if groups is None:
+        grouped_views: list[Mapping[str, SetchainView]] = [views]
+    else:
+        by_group: dict[str, dict[str, SetchainView]] = {}
+        for server, view in views.items():
+            by_group.setdefault(groups.get(server, "?"), {})[server] = view
+        grouped_views = [by_group[key] for key in sorted(by_group)]
+    for group in grouped_views:
+        violations.extend(check_consistent_gets(group))
+        if include_liveness:
+            violations.extend(check_get_global(group))
     return violations

@@ -6,6 +6,24 @@ library failures without also swallowing programming errors.
 
 from __future__ import annotations
 
+import difflib
+
+
+def did_you_mean(unknown: str, candidates: list[str]) -> str:
+    """Error-message suffix naming the closest valid spellings.
+
+    Shared by every name-lookup surface (scenario registry, builder methods,
+    topology plugin registries) so lookup failures read the same everywhere.
+    """
+    close = difflib.get_close_matches(unknown, candidates, n=3, cutoff=0.5)
+    if close:
+        return f"; did you mean {' or '.join(repr(c) for c in close)}?"
+    shown = sorted(candidates)
+    if len(shown) > 10:
+        return (f"; valid names include {', '.join(shown[:10])}, "
+                f"… ({len(shown)} total)")
+    return f"; valid names: {', '.join(shown)}"
+
 
 class ReproError(Exception):
     """Base class for every error raised by this library."""

@@ -86,3 +86,16 @@ class ConsensusState:
 
     def count(self, round_: int, vote_type: VoteType, block_id: str) -> int:
         return len(self.votes.get((round_, vote_type, block_id), ()))
+
+    def round_voters(self, round_: int, vote_type: VoteType) -> int:
+        """Distinct voters of ``vote_type`` in ``round_`` across all block ids.
+
+        Used by the round-timeout liveness rules: a full set of votes split
+        between a block and nil reaches no per-block quorum but still proves
+        the round cannot progress.
+        """
+        voters: set[str] = set()
+        for (vote_round, vote_kind, _block_id), names in self.votes.items():
+            if vote_round == round_ and vote_kind == vote_type:
+                voters.update(names)
+        return len(voters)

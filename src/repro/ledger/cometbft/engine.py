@@ -293,14 +293,57 @@ class CometBFTNode(NetworkNode, LedgerInterface):
         self._maybe_progress()
 
     def _on_round_timeout(self) -> None:
-        """Round liveness: prevote nil if nothing committed in time."""
+        """Round liveness: the timeout escalates one consensus step each time.
+
+        Mirrors Tendermint's ``timeout_propose`` → ``timeout_prevote`` →
+        ``timeout_precommit`` ladder.  The prevote/precommit steps matter on
+        wide-area topologies: regional jitter can race the proposal against
+        the round timers so the prevotes split between the block and nil with
+        neither reaching a 2f+1 quorum — without the escalation every
+        validator has already voted and the round would deadlock forever.
+        """
         if self._crashed or self.state.committed:
             return
-        if self.state.proposal is None and not self.state.prevoted:
-            self.state.prevoted = True
+        state = self.state
+        if state.proposal is None and not state.prevoted:
+            # timeout_propose: no proposal seen — prevote nil.
+            state.prevoted = True
             self._cast_vote(VoteType.PREVOTE, NIL_BLOCK)
+        elif state.prevoted and not state.precommitted:
+            # timeout_prevote: we prevoted long ago and no prevote quorum
+            # formed for any single value — precommit nil so the round can
+            # end (always safe: this validator precommits at most once).
+            state.precommitted = True
+            self._cast_vote(VoteType.PRECOMMIT, NIL_BLOCK)
+        elif state.precommitted and self._round_is_dead():
+            # timeout_precommit: no block can reach a precommit quorum in
+            # this round any more — move on (_advance_round re-arms the timer).
+            self._advance_round()
+            return
         self._maybe_progress()
         self._round_timer.start(self.config.block_interval * _ROUND_TIMEOUT_FACTOR)
+
+    def _round_is_dead(self) -> bool:
+        """True when the current round provably cannot commit any block.
+
+        Every validator precommits at most once per round, so once the
+        precommits we have heard plus every still-unheard validator cannot
+        push any block over the quorum, the round is decided-dead and
+        advancing is safe — unlike advancing on a merely *mixed* quorum,
+        which could race a block quorum still in flight and let a second
+        block commit at the same height elsewhere (a fork).
+        """
+        state = self.state
+        heard = state.round_voters(state.round, VoteType.PRECOMMIT)
+        if heard < self.validators.quorum:
+            return False
+        unheard = len(self.validators.names) - heard
+        for (vote_round, kind, block_id), voters in state.votes.items():
+            if (vote_round == state.round and kind == VoteType.PRECOMMIT
+                    and block_id != NIL_BLOCK
+                    and len(voters) + unheard >= self.validators.quorum):
+                return False
+        return True
 
 
 class CometBFTNetwork:

@@ -9,6 +9,7 @@ communication.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from typing import Mapping
 
 from ..errors import ConfigurationError
 from ..sim.rng import DeterministicRNG
@@ -71,6 +72,57 @@ class UniformLatency(LatencyModel):
     def _base_delay(self, rng: DeterministicRNG, sender: str, recipient: str,
                     size_bytes: int) -> float:
         return rng.uniform(self.low, self.high) + self.per_byte * size_bytes
+
+
+class RegionalLatency(LatencyModel):
+    """Per-region link quality for geo-distributed deployments.
+
+    Intra-region messages draw from a base *intra* model (typically the LAN
+    profile).  Cross-region messages additionally pay a per-pair one-way
+    delay — looked up in a symmetric delay matrix, defaulting to
+    ``inter_delay`` — plus a uniform jitter draw in ``[0, inter_jitter]``,
+    modelling the wider delay variation of wide-area links.  Nodes absent
+    from ``region_of`` (or with no known peer region) are treated as
+    co-located, so auxiliary processes keep LAN behaviour.
+    """
+
+    def __init__(self, region_of: Mapping[str, str], intra: LatencyModel,
+                 inter_delay: float = 0.0, inter_jitter: float = 0.0,
+                 links: Mapping[frozenset[str], float] | None = None,
+                 extra_delay: float = 0.0) -> None:
+        super().__init__(extra_delay)
+        if inter_delay < 0 or inter_jitter < 0:
+            raise ConfigurationError(
+                "inter-region delay and jitter cannot be negative")
+        self.region_of = dict(region_of)
+        self.intra = intra
+        self.inter_delay = inter_delay
+        self.inter_jitter = inter_jitter
+        self.links: dict[frozenset[str], float] = dict(links or {})
+        for pair, delay in self.links.items():
+            if len(pair) != 2:
+                raise ConfigurationError(
+                    f"link key {set(pair)!r} must name two distinct regions")
+            if delay < 0:
+                raise ConfigurationError("link delays cannot be negative")
+
+    def pair_delay(self, region_a: str, region_b: str) -> float:
+        """Base one-way delay between two regions (0 within a region)."""
+        if region_a == region_b:
+            return 0.0
+        return self.links.get(frozenset((region_a, region_b)), self.inter_delay)
+
+    def _base_delay(self, rng: DeterministicRNG, sender: str, recipient: str,
+                    size_bytes: int) -> float:
+        base = self.intra._base_delay(rng, sender, recipient, size_bytes)
+        region_a = self.region_of.get(sender)
+        region_b = self.region_of.get(recipient)
+        if region_a is None or region_b is None or region_a == region_b:
+            return base
+        cross = self.pair_delay(region_a, region_b)
+        if self.inter_jitter > 0:
+            cross += rng.uniform(0.0, self.inter_jitter)
+        return base + cross
 
 
 #: Approximate cluster-network bandwidth used by the profiles: 1 Gbit/s.

@@ -1,0 +1,240 @@
+"""Pluggable deployment components: algorithm, ledger-backend, and latency
+registries.
+
+``build_deployment`` used to hard-code an if/elif algorithm funnel, two
+wired-in ledger backends, and a fixed LAN latency profile.  The registries
+here turn each of those seams into a lookup table that user code can extend
+*without editing core*::
+
+    from repro.topology import register_algorithm
+
+    @register_algorithm("myalgo")
+    def _build(ctx, name, keypair):
+        return MyServer(name, ctx.sim, ctx.config.setchain, ctx.scheme,
+                        keypair, metrics=ctx.metrics)
+
+    config = Scenario("myalgo").servers(4).build()   # validated via the registry
+
+The built-in entries (Vanilla/Compresschain/Hashchain and their light
+variants, CometBFT/Ideal, lan/wan) are registered by
+:mod:`repro.topology.builtins`, loaded lazily on the first registry access —
+the same deferred-population pattern as the scenario catalog — so importing
+this module stays dependency-free and cycle-free.
+
+Lookup misses raise :class:`~repro.errors.ConfigurationError` with a
+did-you-mean hint, matching the builder/registry contract elsewhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Generic, Protocol, TypeVar, runtime_checkable
+
+from ..errors import ConfigurationError, did_you_mean
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..analysis.metrics import MetricsCollector
+    from ..config import ExperimentConfig
+    from ..core.base import BaseSetchainServer
+    from ..crypto.keys import KeyPair
+    from ..crypto.signatures import SignatureScheme
+    from ..ledger.abci import LedgerInterface
+    from ..net.latency import LatencyModel
+    from ..net.network import Network
+    from ..sim.scheduler import Simulator
+
+
+# -- typed backend seam --------------------------------------------------------
+
+@runtime_checkable
+class LedgerBackend(Protocol):
+    """What a deployment needs from the ledger substrate: a way to start it.
+
+    Replaces the old ``ledger_backend: object`` field plus
+    ``backend.start()  # type: ignore[attr-defined]`` seam in
+    :class:`~repro.core.deployment.Deployment`.  Backends that expose more
+    (e.g. CometBFT's ``nodes`` mapping for the mempool-stage CDFs) are
+    duck-typed by the analyses that know about them.
+    """
+
+    def start(self) -> None:
+        """Begin block production / consensus."""
+        ...  # pragma: no cover - protocol
+
+
+@dataclass
+class DeploymentContext:
+    """Build-time objects shared by every factory constructing one deployment."""
+
+    sim: "Simulator"
+    network: "Network"
+    config: "ExperimentConfig"
+    scheme: "SignatureScheme"
+    metrics: "MetricsCollector"
+    #: Per-algorithm shared state, e.g. the hashchain-light out-of-band batch
+    #: store.  Keyed first by algorithm name so distinct algorithm groups in a
+    #: heterogeneous cluster never alias each other's state.
+    _shared: dict[str, dict[str, object]] = field(default_factory=dict)
+
+    def shared_state(self, algorithm: str) -> dict[str, object]:
+        """Mutable state shared by every server of ``algorithm`` in this build."""
+        return self._shared.setdefault(algorithm, {})
+
+
+#: Builds one Setchain server.  The factory must not register the server with
+#: the network or connect its ledger — the deployment composes those stages.
+AlgorithmFactory = Callable[
+    [DeploymentContext, str, "KeyPair"], "BaseSetchainServer"]
+
+#: Builds the ledger substrate: returns the backend plus one
+#: :class:`~repro.ledger.abci.LedgerInterface` handle per server.
+LedgerBackendFactory = Callable[
+    ["Simulator", "Network", int, "ExperimentConfig"],
+    "tuple[LedgerBackend, list[LedgerInterface]]"]
+
+#: Builds a base latency model for the given artificial ``network_delay``
+#: (seconds) — the Table 1 knob layered on top of the profile.
+LatencyProfileFactory = Callable[[float], "LatencyModel"]
+
+F = TypeVar("F")
+
+
+class PluginRegistry(Generic[F]):
+    """A named factory table with did-you-mean lookups and lazy builtins."""
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind
+        self._factories: dict[str, F] = {}
+
+    def register(self, name: str, factory: F, *, replace: bool = False) -> F:
+        if not name:
+            raise ConfigurationError(f"{self.kind} name cannot be empty")
+        _ensure_builtins()
+        if name in self._factories and not replace:
+            raise ConfigurationError(
+                f"{self.kind} {name!r} is already registered "
+                "(pass replace=True to overwrite)")
+        self._factories[name] = factory
+        return factory
+
+    def unregister(self, name: str) -> None:
+        """Remove an entry (primarily for tests un-doing registrations)."""
+        _ensure_builtins()
+        self._factories.pop(name, None)
+
+    def get(self, name: str) -> F:
+        _ensure_builtins()
+        factory = self._factories.get(name)
+        if factory is None:
+            raise ConfigurationError(
+                f"unknown {self.kind} {name!r}"
+                + did_you_mean(name, list(self._factories)))
+        return factory
+
+    def names(self) -> list[str]:
+        _ensure_builtins()
+        return sorted(self._factories)
+
+    def __contains__(self, name: str) -> bool:
+        _ensure_builtins()
+        return name in self._factories
+
+
+_ALGORITHMS: PluginRegistry[AlgorithmFactory] = PluginRegistry("algorithm")
+_LEDGER_BACKENDS: PluginRegistry[LedgerBackendFactory] = (
+    PluginRegistry("ledger backend"))
+_LATENCY_PROFILES: PluginRegistry[LatencyProfileFactory] = (
+    PluginRegistry("latency profile"))
+
+_builtins_loaded = False
+_builtins_loading = False
+
+
+def _ensure_builtins() -> None:
+    """Load the built-in registrations on first registry access."""
+    global _builtins_loaded, _builtins_loading
+    if _builtins_loaded or _builtins_loading:
+        return
+    _builtins_loading = True
+    try:
+        from . import builtins  # noqa: F401  (imported for its side effect)
+    finally:
+        _builtins_loading = False
+    _builtins_loaded = True
+
+
+# -- decorators ----------------------------------------------------------------
+
+def register_algorithm(name: str, *, replace: bool = False):
+    """Decorator registering an :data:`AlgorithmFactory` under ``name``.
+
+    Registered names become valid ``ExperimentConfig.algorithm`` /
+    ``Scenario(...)`` / ``RegionSpec.algorithm`` values immediately.
+    """
+    def decorator(factory: AlgorithmFactory) -> AlgorithmFactory:
+        return _ALGORITHMS.register(name, factory, replace=replace)
+    return decorator
+
+
+def register_ledger_backend(name: str, *, replace: bool = False):
+    """Decorator registering a :data:`LedgerBackendFactory` under ``name``."""
+    def decorator(factory: LedgerBackendFactory) -> LedgerBackendFactory:
+        return _LEDGER_BACKENDS.register(name, factory, replace=replace)
+    return decorator
+
+
+def register_latency_profile(name: str, *, replace: bool = False):
+    """Decorator registering a :data:`LatencyProfileFactory` under ``name``."""
+    def decorator(factory: LatencyProfileFactory) -> LatencyProfileFactory:
+        return _LATENCY_PROFILES.register(name, factory, replace=replace)
+    return decorator
+
+
+# -- lookups -------------------------------------------------------------------
+
+def get_algorithm(name: str) -> AlgorithmFactory:
+    return _ALGORITHMS.get(name)
+
+
+def get_ledger_backend(name: str) -> LedgerBackendFactory:
+    return _LEDGER_BACKENDS.get(name)
+
+
+def get_latency_profile(name: str) -> LatencyProfileFactory:
+    return _LATENCY_PROFILES.get(name)
+
+
+def algorithm_names() -> list[str]:
+    return _ALGORITHMS.names()
+
+
+def ledger_backend_names() -> list[str]:
+    return _LEDGER_BACKENDS.names()
+
+
+def latency_profile_names() -> list[str]:
+    return _LATENCY_PROFILES.names()
+
+
+def has_algorithm(name: str) -> bool:
+    return name in _ALGORITHMS
+
+
+def has_ledger_backend(name: str) -> bool:
+    return name in _LEDGER_BACKENDS
+
+
+def has_latency_profile(name: str) -> bool:
+    return name in _LATENCY_PROFILES
+
+
+def unregister_algorithm(name: str) -> None:
+    _ALGORITHMS.unregister(name)
+
+
+def unregister_ledger_backend(name: str) -> None:
+    _LEDGER_BACKENDS.unregister(name)
+
+
+def unregister_latency_profile(name: str) -> None:
+    _LATENCY_PROFILES.unregister(name)
