@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-pytest bench-smoke list-scenarios clean
+.PHONY: test bench bench-pytest bench-smoke chaos-smoke list-scenarios clean
 
 test:
 	$(PYTHON) -m pytest -q
@@ -17,6 +17,16 @@ bench-pytest:
 bench-smoke:
 	$(PYTHON) -m repro run quickstart --scale 1 --json results/bench-smoke.json
 	$(PYTHON) -m repro report results/bench-smoke.json
+
+# One chaos scenario end to end: run it, render the resilience report, and
+# prove the fault schedule is byte-identical under serial vs parallel sweeps.
+chaos-smoke:
+	$(PYTHON) -m repro run chaos/smoke --json results/chaos-smoke.json
+	$(PYTHON) -m repro report results/chaos-smoke.json
+	$(PYTHON) -m repro sweep --contains chaos/smoke --jobs 1 --quiet --seed 7 --out results/chaos-j1
+	$(PYTHON) -m repro sweep --contains chaos/smoke --jobs 4 --quiet --seed 7 --out results/chaos-j4
+	cmp results/chaos-j1/chaos__smoke.json results/chaos-j4/chaos__smoke.json
+	@echo "chaos/smoke byte-identical under --jobs 1 vs --jobs 4"
 
 list-scenarios:
 	$(PYTHON) -m repro list-scenarios

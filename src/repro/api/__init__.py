@@ -19,6 +19,19 @@ remain as thin shims over this API.
 from __future__ import annotations
 
 from ..config import ExperimentConfig, RegionSpec, TopologyConfig
+from ..faults import (
+    Churn,
+    Crash,
+    DelaySpike,
+    Duplicate,
+    FaultScheduleConfig,
+    Heal,
+    MessageLoss,
+    Partition,
+    Recover,
+    Targets,
+    register_fault,
+)
 from ..topology import (
     register_algorithm,
     register_latency_profile,
@@ -61,9 +74,20 @@ __all__ = [
     "RunResult",
     "RegionSpec",
     "TopologyConfig",
+    "FaultScheduleConfig",
+    "Targets",
+    "Partition",
+    "Heal",
+    "Crash",
+    "Recover",
+    "MessageLoss",
+    "Duplicate",
+    "DelaySpike",
+    "Churn",
     "register_algorithm",
     "register_ledger_backend",
     "register_latency_profile",
+    "register_fault",
     "run",
     "register_scenario",
     "unregister_scenario",

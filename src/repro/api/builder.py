@@ -24,6 +24,7 @@ from typing import Any, Mapping
 
 from ..config import (
     ExperimentConfig,
+    FaultScheduleConfig,
     LedgerConfig,
     RegionSpec,
     SetchainConfig,
@@ -31,6 +32,16 @@ from ..config import (
     WorkloadConfig,
 )
 from ..errors import ConfigurationError, did_you_mean
+from ..faults.events import (
+    Churn,
+    Crash,
+    DelaySpike,
+    Duplicate,
+    FaultEvent,
+    MessageLoss,
+    Partition,
+    Targets,
+)
 from ..topology import plugins as _plugins
 
 _LAYER_FIELDS: dict[str, tuple[str, ...]] = {
@@ -68,7 +79,7 @@ class ScenarioBuilder:
     """
 
     __slots__ = ("_algorithm", "_setchain", "_ledger", "_workload", "_top",
-                 "_topology")
+                 "_topology", "_faults", "_fault_window")
 
     def __init__(self, algorithm: str = "hashchain") -> None:
         if not _plugins.has_algorithm(algorithm):
@@ -82,6 +93,9 @@ class ScenarioBuilder:
         self._top: dict[str, Any] = {}
         #: Topology declaration: regions + link-quality knobs (see .region()).
         self._topology: dict[str, Any] = {}
+        #: Chaos timeline: FaultEvent instances in schedule order (see .faults()).
+        self._faults: list[FaultEvent] = []
+        self._fault_window: float | None = None
 
     # -- construction entry points --------------------------------------------
 
@@ -135,6 +149,9 @@ class ScenarioBuilder:
                 "inter_jitter": topology.inter_jitter,
                 "links": [tuple(link) for link in topology.links],
             }
+        if config.faults is not None:
+            builder._faults = list(config.faults.events)
+            builder._fault_window = config.faults.availability_window
         return builder
 
     # -- internals -------------------------------------------------------------
@@ -148,6 +165,8 @@ class ScenarioBuilder:
         clone._top = dict(self._top)
         clone._topology = {key: list(value) if isinstance(value, list) else value
                            for key, value in self._topology.items()}
+        clone._faults = list(self._faults)
+        clone._fault_window = self._fault_window
         if layer is not None:
             getattr(clone, f"_{layer}").update(overrides)
         return clone
@@ -160,7 +179,8 @@ class ScenarioBuilder:
 
     def __repr__(self) -> str:
         parts = [f"algorithm={self._algorithm!r}"]
-        for layer in ("setchain", "ledger", "workload", "top", "topology"):
+        for layer in ("setchain", "ledger", "workload", "top", "topology",
+                      "faults"):
             overrides = getattr(self, f"_{layer}")
             if overrides:
                 parts.append(f"{layer}={overrides!r}")
@@ -271,6 +291,106 @@ class ScenarioBuilder:
             regions.append((algorithm, int(count), algorithm))
         return clone
 
+    # -- fault injection: declarative chaos timelines (repro.faults) -------------
+
+    def faults(self, *events: "FaultEvent | FaultScheduleConfig",
+               window: float | None = None) -> "ScenarioBuilder":
+        """Append fault events to the scenario's chaos timeline.
+
+        Accepts :class:`~repro.faults.events.FaultEvent` instances (any
+        registered kind, including third-party ones) or a whole
+        :class:`FaultScheduleConfig` (which *replaces* the timeline built so
+        far).  ``window`` sets the availability-window width used by the
+        resilience report.  The convenience methods (:meth:`partition`,
+        :meth:`crash`, :meth:`churn`, :meth:`loss`, ...) cover the common
+        shapes.
+        """
+        clone = self._fork()
+        for event in events:
+            if isinstance(event, FaultScheduleConfig):
+                clone._faults = list(event.events)
+                clone._fault_window = event.availability_window
+            elif isinstance(event, FaultEvent):
+                clone._faults.append(event)
+            else:
+                raise ConfigurationError(
+                    f"faults() takes FaultEvent or FaultScheduleConfig "
+                    f"instances, got {type(event).__name__}")
+        if window is not None:
+            if window <= 0:
+                raise ConfigurationError("availability window must be positive")
+            clone._fault_window = float(window)
+        return clone
+
+    def _fault_targets(self, nodes: tuple[str, ...], region: str | None,
+                       role: str, count: int | None) -> Targets:
+        return Targets(nodes=tuple(str(node) for node in nodes),
+                       region=region, role=role, count=count)
+
+    def partition(self, at: float, *, until: float | None = None,
+                  nodes: tuple[str, ...] = (), region: str | None = None,
+                  role: str = "all", count: int | None = None,
+                  period: float | None = None) -> "ScenarioBuilder":
+        """Partition a node group from the rest of the network at ``at``.
+
+        The group is explicit ``nodes``, everything in ``region``, or a random
+        ``count``-subset of ``role``; ``until`` heals the cut, ``period``
+        re-rolls it (a flapping partition).  Regions cut consensus traffic
+        too: the default role ``"all"`` includes co-located ledger nodes.
+        """
+        group = self._fault_targets(nodes, region, role, count)
+        return self.faults(Partition(at=at, until=until, group=group,
+                                     period=period))
+
+    def crash(self, at: float, *nodes: str, until: float | None = None,
+              region: str | None = None, role: str = "servers",
+              count: int | None = None) -> "ScenarioBuilder":
+        """Crash-fault nodes at ``at`` (auto-recover at ``until`` if given).
+
+        ``crash(10.0, "server-3", until=30.0)`` restarts one named server;
+        ``crash(10.0, count=2)`` picks two random servers;
+        ``role="validators"`` targets the consensus layer instead.
+        """
+        if not nodes and count is None and region is None:
+            count = 1
+        targets = self._fault_targets(nodes, region, role, count)
+        return self.faults(Crash(at=at, until=until, targets=targets))
+
+    def churn(self, at: float, until: float, period: float, count: int = 1,
+              *, role: str = "servers",
+              region: str | None = None) -> "ScenarioBuilder":
+        """Rolling restarts: every ``period`` seconds recover the previous
+        victims and crash a fresh random ``count`` from the pool."""
+        pool = self._fault_targets((), region, role, None)
+        return self.faults(Churn(at=at, until=until, period=period,
+                                 count=count, targets=pool))
+
+    def loss(self, rate: float, at: float = 0.0, *,
+             until: float | None = None, region: str | None = None,
+             nodes: tuple[str, ...] = (),
+             role: str = "all") -> "ScenarioBuilder":
+        """Drop each message with probability ``rate`` while active;
+        ``nodes``/``region``/``role`` restrict the loss to traffic touching
+        the selected hosts (the default hits every message)."""
+        targets = (self._fault_targets(nodes, region, role, None)
+                   if nodes or region is not None or role != "all" else None)
+        return self.faults(MessageLoss(at=at, until=until, rate=rate,
+                                       targets=targets))
+
+    def duplicates(self, rate: float, at: float = 0.0, *,
+                   until: float | None = None) -> "ScenarioBuilder":
+        """Deliver each message twice with probability ``rate`` while active."""
+        return self.faults(Duplicate(at=at, until=until, rate=rate))
+
+    def delay_spike(self, extra_ms: float, at: float = 0.0, *,
+                    until: float | None = None, jitter_ms: float = 0.0,
+                    region: str | None = None) -> "ScenarioBuilder":
+        """Add ``extra_ms`` (+ uniform jitter) to message latency while active."""
+        targets = (self._fault_targets((), region, "all", None)
+                   if region is not None else None)
+        return self.faults(DelaySpike(at=at, until=until, extra_ms=extra_ms,
+                                      jitter_ms=jitter_ms, targets=targets))
+
     # -- ledger knobs ----------------------------------------------------------
 
     def block_size(self, size_bytes: int) -> "ScenarioBuilder":
@@ -380,6 +500,14 @@ class ScenarioBuilder:
             links=tuple(spec.get("links", ())),
         )
 
+    def _build_faults(self) -> FaultScheduleConfig | None:
+        if not self._faults and self._fault_window is None:
+            return None
+        if self._fault_window is None:
+            return FaultScheduleConfig(events=tuple(self._faults))
+        return FaultScheduleConfig(events=tuple(self._faults),
+                                   availability_window=self._fault_window)
+
     def build(self) -> ExperimentConfig:
         """Materialise the validated, frozen :class:`ExperimentConfig`."""
         topology = self._build_topology()
@@ -401,7 +529,8 @@ class ScenarioBuilder:
             setchain.collector_limit, setchain.n_servers)
         return ExperimentConfig(algorithm=self._algorithm, setchain=setchain,
                                 ledger=ledger, workload=workload, label=label,
-                                topology=topology, **top)
+                                topology=topology, faults=self._build_faults(),
+                                **top)
 
     def run(self, scale: float = 1.0, *, seed: int | None = None,
             to_completion: bool = False):

@@ -13,6 +13,8 @@ Importing this module — done lazily by the registry on its first access, see
 * ``wan/...`` — homogeneous clusters split across regions over wide-area links;
 * ``geo/...`` — geo-distributed sites with per-pair delay matrices and jitter;
 * ``mixed/...`` — heterogeneous clusters (per-region algorithms, one ledger);
+* ``chaos/...`` — deterministic fault schedules (:mod:`repro.faults`):
+  partitions, crash/recovery, churn, loss, duplication, delay spikes;
 * ``bench/...`` — the pinned ``bench-smoke`` set measured by :mod:`repro.bench`;
 * ``quickstart`` / ``smoke`` — small scenarios that finish in seconds.
 
@@ -329,6 +331,178 @@ def _register_mixed() -> None:
 
 
 _register_mixed()
+
+
+# -- chaos: deterministic fault schedules (repro.faults) ----------------------
+# Jepsen-style nemesis timelines over the paper's clusters: every scenario is
+# seed-deterministic (the injector draws from a derived RNG stream), so the
+# same (scenario, seed) reproduces the same chaos in any process.  Faults are
+# placed inside the 50 s injection window with generous drains so recovery
+# paths (hashchain Request_batch retries, server block replay, CometBFT
+# block-sync) get exercised *and* observed by the resilience metrics.
+
+
+def _register_chaos() -> None:
+    # partitions -------------------------------------------------------------
+    for algorithm in ("vanilla", "compresschain", "hashchain"):
+        register_scenario(
+            f"chaos/partition/minority-{algorithm}",
+            tags=("chaos", "faults", "partition", algorithm),
+            description=(f"{algorithm}: a random 3-server minority is cut off "
+                         "from t=10 s to t=25 s"),
+        )(lambda a=algorithm: Scenario(a).rate(2_000)
+          .partition(10.0, until=25.0, count=3, role="servers"))
+    register_scenario(
+        "chaos/partition/majority-hashchain",
+        tags=("chaos", "faults", "partition", "hashchain"),
+        description="6 of 10 hashchain servers partitioned away for 15 s "
+                    "(no server-side quorum across the cut)",
+    )(lambda: Scenario.hashchain().rate(2_000)
+      .partition(10.0, until=25.0, count=6, role="servers"))
+    register_scenario(
+        "chaos/partition/flapping",
+        tags=("chaos", "faults", "partition", "hashchain"),
+        description="a random 3-server minority is re-partitioned every 5 s "
+                    "between t=5 s and t=35 s",
+    )(lambda: Scenario.hashchain().rate(2_000)
+      .partition(5.0, until=35.0, count=3, role="servers", period=5.0))
+    register_scenario(
+        "chaos/partition/wan-region-split",
+        tags=("chaos", "faults", "partition", "wan", "hashchain"),
+        description="two-region WAN hashchain; the eu region (servers + "
+                    "validators) is cut off from t=10 s to t=30 s",
+    )(lambda: Scenario.hashchain().region("us", 5).region("eu", 5)
+      .wan(inter_ms=40, jitter_ms=10).rate(2_000)
+      .partition(10.0, until=30.0, region="eu"))
+    register_scenario(
+        "chaos/partition/during-commit",
+        tags=("chaos", "faults", "partition", "hashchain"),
+        description="short partition dropped exactly across the first "
+                    "commit wave (t=12 s to 18 s, collector 500)",
+    )(lambda: Scenario.hashchain().rate(2_000).collector(500)
+      .partition(12.0, until=18.0, count=4, role="servers"))
+
+    # crashes and recovery ----------------------------------------------------
+    for algorithm in ("vanilla", "compresschain", "hashchain"):
+        register_scenario(
+            f"chaos/crash/one-{algorithm}",
+            tags=("chaos", "faults", "crash", algorithm),
+            description=(f"{algorithm}: one random server crashes at t=10 s "
+                         "and recovers at t=30 s"),
+        )(lambda a=algorithm: Scenario(a).rate(2_000)
+          .crash(10.0, until=30.0, count=1))
+    register_scenario(
+        "chaos/crash/f-servers",
+        tags=("chaos", "faults", "crash", "hashchain"),
+        description="f=4 of 10 hashchain servers crash together for 25 s "
+                    "(the Setchain fault budget, exactly)",
+    )(lambda: Scenario.hashchain().rate(2_000).crash(10.0, until=35.0, count=4))
+    register_scenario(
+        "chaos/crash/beyond-f",
+        tags=("chaos", "faults", "crash", "hashchain"),
+        description="2 of 4 servers crash (beyond f=1): guarantees void "
+                    "until recovery, then the cluster catches up",
+    )(lambda: Scenario.hashchain().servers(4).rate(1_000)
+      .crash(10.0, until=30.0, count=2))
+    register_scenario(
+        "chaos/crash/rolling-restart",
+        tags=("chaos", "faults", "crash", "churn", "hashchain"),
+        description="rolling restart: one random server down at a time, "
+                    "rotating every 5 s from t=5 s to t=45 s",
+    )(lambda: Scenario.hashchain().rate(2_000)
+      .churn(5.0, until=45.0, period=5.0, count=1))
+    register_scenario(
+        "chaos/recovery/hashchain-batch-resync",
+        tags=("chaos", "faults", "crash", "recovery", "hashchain"),
+        description="one named hashchain server crashes mid-injection and "
+                    "replays the missed ledger through Request_batch recovery",
+    )(lambda: Scenario.hashchain().servers(4).rate(1_000).collector(50)
+      .crash(8.0, "server-3", until=20.0))
+    register_scenario(
+        "chaos/recovery/compresschain-restart",
+        tags=("chaos", "faults", "crash", "recovery", "compresschain"),
+        description="one named compresschain server restarts; recovery "
+                    "decompresses the missed blocks from the ledger",
+    )(lambda: Scenario.compresschain().servers(4).rate(1_000).collector(50)
+      .crash(8.0, "server-3", until=20.0))
+
+    # validator churn (consensus-layer faults) --------------------------------
+    register_scenario(
+        "chaos/churn/validators-at-f",
+        tags=("chaos", "faults", "churn", "validators", "hashchain"),
+        description="3 of 10 CometBFT validators (the consensus f) rotate "
+                    "out every 10 s between t=10 s and t=40 s",
+    )(lambda: Scenario.hashchain().rate(2_000)
+      .churn(10.0, until=40.0, period=10.0, count=3, role="validators"))
+    register_scenario(
+        "chaos/churn/validators-beyond-f",
+        tags=("chaos", "faults", "churn", "validators", "hashchain"),
+        description="4 of 10 validators down at once (beyond the consensus "
+                    "f=3): block production stalls until they block-sync back",
+    )(lambda: Scenario.hashchain().rate(2_000)
+      .churn(10.0, until=30.0, period=10.0, count=4, role="validators"))
+
+    # message-level faults ----------------------------------------------------
+    register_scenario(
+        "chaos/loss/flaky-1pct",
+        tags=("chaos", "faults", "loss", "hashchain"),
+        description="1% uniform message loss for the whole run",
+    )(lambda: Scenario.hashchain().rate(2_000).loss(0.01))
+    register_scenario(
+        "chaos/loss/flaky-5pct",
+        tags=("chaos", "faults", "loss", "hashchain"),
+        description="5% uniform message loss for the whole run",
+    )(lambda: Scenario.hashchain().rate(2_000).loss(0.05))
+    register_scenario(
+        "chaos/loss/wan-10pct",
+        tags=("chaos", "faults", "loss", "wan", "hashchain"),
+        description="two-region WAN with a 10% loss window from t=5 s to "
+                    "t=40 s (degraded connection quality, not the happy path)",
+    )(lambda: Scenario.hashchain().region("us", 5).region("eu", 5)
+      .wan(inter_ms=40, jitter_ms=10).rate(2_000)
+      .loss(0.10, 5.0, until=40.0))
+    register_scenario(
+        "chaos/dup/gossip-storm",
+        tags=("chaos", "faults", "duplicate", "hashchain"),
+        description="5% of messages delivered twice (at-least-once "
+                    "transport); dedup layers must absorb it",
+    )(lambda: Scenario.hashchain().rate(2_000).duplicates(0.05))
+    register_scenario(
+        "chaos/delay/spike-250ms",
+        tags=("chaos", "faults", "delay", "hashchain"),
+        description="+250 ms (±50 ms jitter) on every message from t=10 s "
+                    "to t=30 s",
+    )(lambda: Scenario.hashchain().rate(2_000)
+      .delay_spike(250.0, 10.0, until=30.0, jitter_ms=50.0))
+    register_scenario(
+        "chaos/delay/vanilla-spike",
+        tags=("chaos", "faults", "delay", "vanilla"),
+        description="vanilla under a +150 ms latency spike from t=10 s to "
+                    "t=30 s (per-element appends feel every millisecond)",
+    )(lambda: Scenario.vanilla().rate(2_000)
+      .delay_spike(150.0, 10.0, until=30.0, jitter_ms=30.0))
+
+    # combined / smoke --------------------------------------------------------
+    register_scenario(
+        "chaos/combo/partition-then-crash",
+        tags=("chaos", "faults", "partition", "crash", "hashchain"),
+        description="a minority partition (t=8-16 s) followed by a server "
+                    "crash (t=20-30 s) with 2% background loss",
+    )(lambda: Scenario.hashchain().rate(2_000)
+      .partition(8.0, until=16.0, count=3, role="servers")
+      .crash(20.0, until=30.0, count=1).loss(0.02))
+    register_scenario(
+        "chaos/smoke",
+        tags=("chaos", "faults", "ci"),
+        description="small 4-server hashchain over the ideal ledger with a "
+                    "crash+recover and a brief partition; ~seconds",
+    )(lambda: Scenario.hashchain().servers(4).rate(200).collector(20)
+      .inject_for(5).drain(60).backend("ideal")
+      .crash(1.0, "server-3", until=3.0)
+      .partition(2.0, until=4.0, count=1, role="servers"))
+
+
+_register_chaos()
 
 
 # -- small, fast scenarios ----------------------------------------------------

@@ -10,8 +10,9 @@ Subcommands:
 * ``sweep`` — run every scenario matching a filter and write one JSON
   artifact per run into an output directory;
 * ``report`` — re-render saved :class:`RunResult` JSON artifacts as the
-  standard summary table (plus a per-region breakdown for multi-region
-  runs), without re-running anything.
+  standard summary table (plus a per-region breakdown for multi-region runs
+  and a resilience breakdown for fault-injected runs), without re-running
+  anything.
 """
 
 from __future__ import annotations
@@ -201,6 +202,32 @@ def _cmd_report(args: argparse.Namespace) -> int:
             ["scenario", "region", "servers", "added", "committed",
              "first commit (s)"],
             region_rows, title="per-region breakdown"))
+    faulted = [r for r in results if r.faults]
+    if faulted:
+        fault_rows = []
+        for result in faulted:
+            report = result.faults
+            assert report is not None
+            windows = report.get("availability", {}).get("windows", [])
+            fractions = [w["availability"] for w in windows
+                         if w.get("availability") is not None]
+            recoveries = [entry["recovery_s"]
+                          for entry in report.get("recovery", [])
+                          if entry.get("recovery_s") is not None]
+            fault_rows.append([
+                result.label,
+                len(report.get("events", [])),
+                report.get("messages_dropped", 0),
+                report.get("messages_duplicated", 0),
+                report.get("rejected_while_crashed", 0),
+                "-" if not fractions else f"{min(fractions):.3f}",
+                "-" if not recoveries else f"{max(recoveries):.2f}",
+            ])
+        print()
+        print(render_table(
+            ["scenario", "faults", "dropped", "duplicated", "lost adds",
+             "min avail", "recovery (s)"],
+            fault_rows, title="resilience (fault-injected runs)"))
     return 0
 
 

@@ -19,6 +19,7 @@ from typing import TYPE_CHECKING, Any, Mapping
 
 from ..config import (
     ExperimentConfig,
+    FaultScheduleConfig,
     LedgerConfig,
     SetchainConfig,
     TopologyConfig,
@@ -49,10 +50,10 @@ def summary_row(algorithm: str, sending_rate: float, collector_limit: int,
 def config_echo(config: ExperimentConfig) -> dict[str, Any]:
     """The nested config dict stored in artifacts.
 
-    The ``topology`` key is serialised through
-    :meth:`~repro.config.TopologyConfig.to_dict` and *omitted entirely* when
-    unset, so artifacts of legacy homogeneous configs are byte-identical to
-    those written before topologies existed.
+    The ``topology`` and ``faults`` keys are serialised through their own
+    ``to_dict`` methods and *omitted entirely* when unset, so artifacts of
+    legacy homogeneous fault-free configs are byte-identical to those written
+    before topologies (or fault schedules) existed.
     """
     echo = dataclasses.asdict(config)
     topology = config.topology
@@ -60,6 +61,11 @@ def config_echo(config: ExperimentConfig) -> dict[str, Any]:
         del echo["topology"]
     else:
         echo["topology"] = topology.to_dict()
+    faults = config.faults
+    if faults is None:
+        del echo["faults"]
+    else:
+        echo["faults"] = faults.to_dict()
     return echo
 
 
@@ -89,6 +95,11 @@ class RunResult:
     #: only for multi-region topologies; ``None`` — and absent from the JSON
     #: artifact — for legacy homogeneous runs.
     regions: dict[str, dict[str, Any]] | None = None
+    #: Resilience report (applied chaos timeline, availability windows,
+    #: commit latency during/outside faults, recovery times, drop/duplicate
+    #: counters); ``None`` — and absent from the JSON artifact — for
+    #: fault-free runs, keeping their artifacts byte-identical.
+    faults: dict[str, Any] | None = None
     schema_version: int = SCHEMA_VERSION
 
     # -- construction ----------------------------------------------------------
@@ -113,6 +124,7 @@ class RunResult:
             throughput_times=result.throughput.times,
             throughput_values=result.throughput.values,
             regions=result.metrics.region_summary(),
+            faults=result.faults,
         )
 
     # -- derived views ---------------------------------------------------------
@@ -133,6 +145,7 @@ class RunResult:
         """Rebuild the validated :class:`ExperimentConfig` from the echo."""
         echo = dict(self.config)
         topology = echo.get("topology")
+        faults = echo.get("faults")
         return ExperimentConfig(
             algorithm=echo["algorithm"],
             setchain=SetchainConfig(**echo["setchain"]),
@@ -141,6 +154,8 @@ class RunResult:
             ledger_backend=echo["ledger_backend"],
             topology=(None if topology is None
                       else TopologyConfig.from_dict(topology)),
+            faults=(None if faults is None
+                    else FaultScheduleConfig.from_dict(faults)),
             drain_duration=echo["drain_duration"],
             label=echo["label"],
         )
@@ -166,6 +181,9 @@ class RunResult:
             # Keep homogeneous artifacts byte-identical to the pre-topology
             # schema (the key only appears for multi-region runs).
             del data["regions"]
+        if data["faults"] is None:
+            # Same contract for fault-free runs vs the pre-faults schema.
+            del data["faults"]
         return data
 
     @classmethod
@@ -187,9 +205,17 @@ class RunResult:
         unknown = sorted(set(payload) - known)
         if unknown:
             raise ConfigurationError(f"unknown RunResult fields: {unknown}")
-        missing = sorted(known - {"schema_version", "regions"} - set(payload))
+        missing = sorted(known - {"schema_version", "regions", "faults"}
+                         - set(payload))
         if missing:
             raise ConfigurationError(f"missing RunResult fields: {missing}")
+        faults = payload.get("faults")
+        if faults is not None:
+            if not isinstance(faults, Mapping):
+                raise ConfigurationError(
+                    "malformed RunResult faults: expected a resilience-report "
+                    "object")
+            payload["faults"] = dict(faults)
         regions = payload.get("regions")
         if regions is not None and (
                 not isinstance(regions, Mapping)

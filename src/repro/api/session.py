@@ -147,6 +147,44 @@ class Session:
         self._injected_by_hand += 1
         return element
 
+    # -- interactive chaos ------------------------------------------------------
+
+    def crash(self, name: str) -> "Session":
+        """Crash-fault a server or ledger node by name, mid-run."""
+        self._require_started()
+        self.deployment.crash_node(name)
+        return self
+
+    def recover(self, name: str) -> "Session":
+        """Recover a crashed node (servers replay missed blocks; CometBFT
+        validators block-sync from a live peer)."""
+        self._require_started()
+        self.deployment.recover_node(name)
+        return self
+
+    def partition(self, group: set[str] | list[str] | tuple[str, ...]) -> "Session":
+        """Partition ``group`` from every other node on the network."""
+        self._require_started()
+        cut = set(group)
+        rest = set(self.deployment.network.node_names()) - cut
+        if not cut or not rest:
+            raise ConfigurationError(
+                "partition group must be a non-empty strict subset of the nodes")
+        self.deployment.network.partition(cut, rest)
+        return self
+
+    def heal(self) -> "Session":
+        """Remove every installed partition."""
+        self._require_started()
+        self.deployment.network.heal()
+        return self
+
+    def crashed_nodes(self) -> list[str]:
+        """Names of currently crash-faulted nodes, sorted."""
+        network = self.deployment.network
+        return [name for name in network.node_names()
+                if network.node(name).crashed]
+
     # -- inspection ------------------------------------------------------------
 
     def views(self) -> dict[str, "SetchainView"]:

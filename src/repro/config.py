@@ -12,6 +12,7 @@ from dataclasses import dataclass, field, replace
 from typing import Sequence
 
 from .errors import ConfigurationError
+from .faults.schedule import FaultScheduleConfig  # noqa: F401  (re-export)
 from .topology.regions import RegionSpec, TopologyConfig  # noqa: F401  (re-export)
 
 # -- Paper constants (Section 4, "Experiment Scenarios") ---------------------
@@ -172,6 +173,10 @@ class ExperimentConfig:
     #: Multi-region/heterogeneous deployment description.  ``None`` (the
     #: default) is the paper's homogeneous single-site cluster.
     topology: TopologyConfig | None = None
+    #: Declarative fault timeline executed by :mod:`repro.faults`.  ``None``
+    #: (the default) is a fault-free run — no injector is built and artifacts
+    #: stay byte-identical to the pre-faults schema.
+    faults: FaultScheduleConfig | None = None
     #: Total simulated time to run after injection stops (seconds).
     drain_duration: float = 100.0
     #: Label used by reports.
@@ -191,6 +196,19 @@ class ExperimentConfig:
                 f"backends are {tuple(plugins.ledger_backend_names())}")
         if self.drain_duration < 0:
             raise ConfigurationError("drain_duration cannot be negative")
+        if self.faults is not None:
+            if not isinstance(self.faults, FaultScheduleConfig):
+                raise ConfigurationError(
+                    f"faults must be a FaultScheduleConfig, got "
+                    f"{type(self.faults).__name__}")
+            last = self.faults.last_time
+            if self.faults.events and last > self.total_duration:
+                raise ConfigurationError(
+                    f"fault schedule extends to t={last:g}s but the run "
+                    f"ends at t={self.total_duration:g}s (injection + "
+                    "drain): timers past the horizon would never fire, "
+                    "leaving nodes crashed or cuts unhealed — extend "
+                    "drain_duration or move the events earlier")
         topology = self.topology
         if topology is not None:
             if topology.n_servers != self.setchain.n_servers:

@@ -65,16 +65,34 @@ class BaseSetchainServer(NetworkNode, Application):
         # Per-epoch distinct proof signers, for the f+1 commit rule.
         self._proof_signers: dict[int, set[str]] = {}
         self._committed_epochs: set[int] = set()
+        #: Proofs for epochs this server has not created yet.  Under faults,
+        #: content recovery can lag the ledger, so a peer's proof may arrive
+        #: before the local epoch exists; buffered proofs are re-absorbed
+        #: after each epoch creation.  Never populated in fault-free runs.
+        self._future_proofs: set[EpochProof] = set()
         # Ledger hookup.
         self._ledger: LedgerInterface | None = None
         # Serial block-processing pipeline.
         self._work: deque[tuple[str, Block, Transaction | None]] = deque()
         self._busy = False
+        # Pipeline generation: scheduled continuations carry the generation
+        # they belong to and die if a crash has bumped it since — a crash
+        # cannot cancel the already-queued sim.call_in continuation, and a
+        # stale one resuming after recovery would run a second concurrent
+        # chain through the strictly-serial pipeline.
+        self._pipeline_run = 0
+        # Crash-recovery: blocks the co-located ledger node finalised while
+        # this server was down, replayed in order on recovery (the consensus
+        # engine persists the chain; the application replays it — ABCI's
+        # replay-from-last-commit, collapsed to the crash window).
+        self._missed_blocks: list[Block] = []
         # Observability counters.
         self.rejected_elements = 0
         self.duplicate_adds = 0
         self.invalid_proofs = 0
         self.blocks_processed = 0
+        #: Client adds refused because the server was crash-faulted.
+        self.crashed_rejects = 0
 
     # -- wiring ----------------------------------------------------------------
 
@@ -112,8 +130,12 @@ class BaseSetchainServer(NetworkNode, Application):
 
         Returns ``True`` if the element was accepted.  Invalid elements are
         rejected (the pseudocode's ``assert valid_element(e)``); duplicates are
-        ignored.
+        ignored.  A crash-faulted server refuses adds entirely (the client's
+        request fails against a downed host).
         """
+        if self.crashed:
+            self.crashed_rejects += 1
+            return False
         if not valid_element(element):
             self.rejected_elements += 1
             return False
@@ -168,6 +190,11 @@ class BaseSetchainServer(NetworkNode, Application):
                                                    self.sim.now)
         proof = create_epoch_proof(self.scheme, self.keypair, self._epoch, elements)
         self._epoch_hashes[self._epoch] = proof.epoch_hash
+        if self._future_proofs:
+            ready = [p for p in self._future_proofs if p.epoch_number <= self._epoch]
+            if ready:
+                self._future_proofs.difference_update(ready)
+                self._absorb_proofs(ready)
         return proof
 
     def _proof_matches_local_epoch(self, proof: EpochProof) -> bool:
@@ -181,10 +208,21 @@ class BaseSetchainServer(NetworkNode, Application):
             proof.signature)
 
     def _absorb_proofs(self, candidates: list[EpochProof]) -> None:
-        """Validate and store epoch-proofs, tracking the f+1 commit rule."""
+        """Validate and store epoch-proofs, tracking the f+1 commit rule.
+
+        Proofs for epochs beyond the locally created ones are buffered (the
+        epoch may still be filling in — see ``_future_proofs``); proofs that
+        mismatch an existing epoch are counted invalid and dropped.
+        """
         for proof in candidates:
             elements = self._history.get(proof.epoch_number)
-            if elements is None or not self._proof_matches_local_epoch(proof):
+            if elements is None:
+                if proof.epoch_number > self._epoch:
+                    self._future_proofs.add(proof)
+                else:
+                    self.invalid_proofs += 1
+                continue
+            if not self._proof_matches_local_epoch(proof):
                 self.invalid_proofs += 1
                 continue
             if proof in self._proofs:
@@ -213,14 +251,24 @@ class BaseSetchainServer(NetworkNode, Application):
         return True
 
     def finalize_block(self, block: Block) -> None:
-        """Enqueue the block's transactions for serial processing."""
+        """Enqueue the block's transactions for serial processing.
+
+        While crash-faulted, blocks are buffered instead: the co-located
+        ledger node keeps the (durable) chain, and :meth:`recover` replays the
+        missed blocks through this same path, driving the algorithms' normal
+        re-synchronisation (Hashchain's ``Request_batch`` hash reversal,
+        Compresschain's decompression) end to end.
+        """
+        if self.crashed:
+            self._missed_blocks.append(block)
+            return
         self.blocks_processed += 1
         for tx in block.transactions:
             self._work.append(("tx", block, tx))
         self._work.append(("end", block, None))
         if not self._busy:
             self._busy = True
-            self.sim.call_soon(self._process_next)
+            self._schedule_pipeline(0.0)
 
     @property
     def backlog(self) -> int:
@@ -241,10 +289,53 @@ class BaseSetchainServer(NetworkNode, Application):
 
     def _finish_after(self, duration: float) -> None:
         """Mark the current work item done after ``duration`` seconds of service time."""
-        if duration <= 0:
-            self.sim.call_soon(self._process_next)
+        self._schedule_pipeline(duration)
+
+    def _schedule_pipeline(self, delay: float) -> None:
+        run = self._pipeline_run
+        if delay <= 0:
+            self.sim.call_soon(lambda: self._pipeline_step(run))
         else:
-            self.sim.call_in(duration, self._process_next)
+            self.sim.call_in(delay, lambda: self._pipeline_step(run))
+
+    def _pipeline_step(self, run: int) -> None:
+        if run != self._pipeline_run:
+            return  # continuation of a pipeline that died in a crash
+        self._process_next()
+
+    # -- crash faults ---------------------------------------------------------------
+
+    def _on_crash(self) -> None:
+        """Volatile state dies with the process: the in-flight block pipeline.
+
+        Blocks with work still queued were delivered but not fully processed;
+        a real process replays them from the durable chain after restarting,
+        so they join the missed-block replay (per-transaction handler state
+        is idempotent, making re-processing of already-handled transactions
+        safe).  Subclasses extend this for their own in-memory state
+        (collectors, pending hash-reversal requests).  Durable state —
+        ``the_set``, history, the batch store (disk in the paper's
+        deployment) — survives.
+        """
+        interrupted: list[Block] = []
+        seen: set[int] = set()
+        for _kind, block, _tx in self._work:
+            if id(block) not in seen:
+                seen.add(id(block))
+                interrupted.append(block)
+        self._missed_blocks.extend(interrupted)
+        # Interrupted blocks were counted when first enqueued and will be
+        # counted again when the recovery replay re-finalizes them.
+        self.blocks_processed -= len(interrupted)
+        self._work.clear()
+        self._busy = False
+        self._pipeline_run += 1  # orphan any queued continuation
+
+    def _on_recover(self) -> None:
+        """Replay every block missed while down, in commit order."""
+        missed, self._missed_blocks = self._missed_blocks, []
+        for block in missed:
+            self.finalize_block(block)
 
     # -- hooks implemented by the concrete algorithms --------------------------------
 

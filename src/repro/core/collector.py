@@ -75,6 +75,15 @@ class Collector:
             self.timeout_flushes += 1
             self._flush()
 
+    def clear(self) -> None:
+        """Drop the pending batch and disarm the timer (crash-fault volatility).
+
+        The collector is in-memory state: a server that crash-faults loses
+        whatever it had batched but not yet flushed.
+        """
+        self._timer.cancel()
+        self._batch = []
+
     def _on_timeout(self) -> None:
         if self._batch:
             self.timeout_flushes += 1

@@ -105,3 +105,10 @@ class CompresschainServer(BaseSetchainServer):
             proof = self._record_new_epoch(set(new_epoch.values()), block)
             self.add_to_batch(proof)
         self._finish_after(duration)
+
+    # -- crash faults ------------------------------------------------------------
+
+    def _on_crash(self) -> None:
+        """The collector batch is in-memory state and dies with the process."""
+        super()._on_crash()
+        self.collector.clear()

@@ -23,6 +23,8 @@ from ..analysis.metrics import MetricsCollector
 from ..config import ExperimentConfig
 from ..crypto.keys import PublicKeyInfrastructure
 from ..crypto.signatures import SignatureScheme, make_scheme
+from ..errors import NetworkError
+from ..faults.injector import FaultInjector
 from ..net.latency import LatencyModel, RegionalLatency
 from ..net.network import Network
 from ..sim.scheduler import Simulator
@@ -55,15 +57,20 @@ class Deployment:
     injected_elements: list[Element] = field(default_factory=list)
     #: Server name -> region name (empty for homogeneous deployments).
     region_of: dict[str, str] = field(default_factory=dict)
+    #: Executes ``config.faults``; ``None`` for fault-free runs.
+    fault_injector: FaultInjector | None = None
 
     # -- running ------------------------------------------------------------------
 
     def start(self) -> None:
-        """Start ledger block production, servers, and client injection."""
+        """Start ledger block production, servers, client injection, and arm
+        the fault schedule (when one is configured)."""
         self.ledger_backend.start()
         for server in self.servers:
             server.start()
         self.clients.start()
+        if self.fault_injector is not None:
+            self.fault_injector.arm()
 
     def run(self, until: float | None = None) -> None:
         """Run the simulation for the configured experiment duration.
@@ -125,6 +132,47 @@ class Deployment:
         if not self.injected_elements:
             return 0.0
         return self.metrics.committed_count / len(self.injected_elements)
+
+    # -- crash faults ---------------------------------------------------------------
+
+    def _node_for_fault(self, name: str):  # type: ignore[no-untyped-def]
+        """The crashable object behind ``name``: a server or a ledger node."""
+        for server in self.servers:
+            if server.name == name:
+                return server
+        nodes = getattr(self.ledger_backend, "nodes", None)
+        if nodes and name in nodes:
+            return nodes[name]
+        if name in self.network:
+            return self.network.node(name)
+        raise NetworkError(f"no crashable node named {name!r} in this deployment")
+
+    def node_crashed(self, name: str) -> bool:
+        """Whether the named server or ledger node is currently crash-faulted."""
+        return self._node_for_fault(name).crashed
+
+    def crash_node(self, name: str) -> None:
+        """Crash-fault a server or ledger node by name (idempotent)."""
+        node = self._node_for_fault(name)
+        crash = getattr(self.ledger_backend, "crash_node", None)
+        if crash is not None and node not in self.servers:
+            crash(name)
+        else:
+            node.crash()
+
+    def recover_node(self, name: str) -> None:
+        """Recover a crashed server or ledger node by name (idempotent).
+
+        Ledger nodes recover through their backend when it knows how (e.g.
+        CometBFT's block-sync from a live peer); servers replay the blocks
+        their co-located ledger node finalised while they were down.
+        """
+        node = self._node_for_fault(name)
+        recover = getattr(self.ledger_backend, "recover_node", None)
+        if recover is not None and node not in self.servers:
+            recover(name)
+        else:
+            node.recover()
 
 
 def build_latency(config: ExperimentConfig) -> LatencyModel:
@@ -219,10 +267,16 @@ def build_deployment(config: ExperimentConfig, seed: int | None = None) -> Deplo
     clients = ClientPool(sim, targets=list(servers), workload=config.workload,
                          on_element=on_element)
 
-    return Deployment(config=config, sim=sim, network=network, scheme=scheme,
-                      servers=servers, clients=clients, metrics=metrics,
-                      ledger_backend=ledger_backend, injected_elements=injected,
-                      region_of=region_of)
+    deployment = Deployment(config=config, sim=sim, network=network, scheme=scheme,
+                            servers=servers, clients=clients, metrics=metrics,
+                            ledger_backend=ledger_backend, injected_elements=injected,
+                            region_of=region_of)
+    if config.faults is not None and config.faults.events:
+        # Construction only derives an RNG stream (no draws) and allocates
+        # timers at start(); fault-free runs never reach here, so their
+        # schedules and artifacts are untouched.
+        deployment.fault_injector = FaultInjector(deployment, config.faults)
+    return deployment
 
 
 def run_experiment(config: ExperimentConfig, seed: int | None = None,

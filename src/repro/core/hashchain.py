@@ -16,6 +16,7 @@ hash reversal as the ~20k el/s bottleneck of the full algorithm.
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Sequence
 
 from ..config import HASH_BATCH_SIZE, SetchainConfig
@@ -37,6 +38,17 @@ from .validation import batch_matches_hash, split_batch, valid_element, valid_ha
 #: Wire size of a Request_batch query (a hash plus framing).
 _REQUEST_SIZE = 80
 
+#: Cap on background Request_batch retries for hashes that have *not* reached
+#: their consolidation trigger (e.g. a Byzantine signer's withheld batch) —
+#: nothing depends on them, so the retries eventually stop.  Triggered hashes
+#: retry indefinitely instead: the f+1 signer rule guarantees a correct signer
+#: exists, and the fill queue blocks on the contents (see _try_fill_epochs).
+_MAX_REQUEST_RETRIES = 10
+
+#: Retry backoff caps at ``2 ** _MAX_BACKOFF_EXP × batch_request_timeout``
+#: (64× by default), so indefinite retries stay a trickle of events.
+_MAX_BACKOFF_EXP = 6
+
 
 class HashchainServer(BaseSetchainServer):
     """One Hashchain Setchain server."""
@@ -56,20 +68,42 @@ class HashchainServer(BaseSetchainServer):
         self.collector = Collector(sim, config.collector_limit,
                                    config.collector_timeout, self._flush_batch)
         self.store = BatchStore()
-        #: hash → set of signers observed in the ledger (``hash_to_signers``).
+        #: hash → set of signers whose (signature-valid) hash-batches this
+        #: server has seen in the ledger (``hash_to_signers``).  Purely
+        #: ledger-derived, so it is identical at every correct server over the
+        #: same ledger prefix — the f+1-th distinct signer *triggers*
+        #: consolidation, whether or not the contents are locally available.
         self.hash_to_signers: dict[str, set[str]] = {}
         #: Hashes whose batch this server has signed and appended already.
         self._signed_hashes: set[str] = set()
-        #: Hashes already consolidated into an epoch.
+        #: Hashes whose consolidation has been triggered (queued or filled).
         self._consolidated: set[str] = set()
+        #: Triggered hashes awaiting their epoch, in ledger trigger order.
+        #: Epochs fill strictly head-first: a hash whose contents are still
+        #: being recovered blocks later ones, so epoch numbering and contents
+        #: converge at every correct server regardless of message faults.
+        self._fill_queue: deque[str] = deque()
+        #: Trigger block per queued hash (handed to ``_record_new_epoch``).
+        self._fill_meta: dict[str, Block] = {}
         # In-flight Request_batch state: only one at a time because block
         # processing is serial (the paper's implementation blocks inside
         # FinalizeBlock the same way).
         self._pending: tuple[Block, Transaction, HashBatch] | None = None
         self._request_timer = Timer(sim, self._on_request_timeout)
+        #: Hashes whose Request_batch failed, kept for background retry with
+        #: exponential backoff over the hash's known signers — a timeout under
+        #: partial synchrony may be a transient partition or a crashed (but
+        #: recoverable) peer rather than a Byzantine one, and a triggered hash
+        #: carries f+1 signers, at least one of them correct.  The value is a
+        #: chain token: scheduled retry callbacks die when it no longer
+        #: matches, so a digest can never accumulate parallel retry chains
+        #: across resolve → re-fail → re-note (or crash → recover) cycles.
+        self._unresolved: dict[str, int] = {}
+        self._retry_token = 0
         #: Counters for the hash-reversal analysis.
         self.batch_requests_sent = 0
         self.batch_requests_failed = 0
+        self.batch_request_retries = 0
         self.hash_batches_appended = 0
         self.on("request_batch", self._on_request_batch)
         self.on("batch_response", self._on_batch_response)
@@ -117,41 +151,60 @@ class HashchainServer(BaseSetchainServer):
                   size_bytes=size)
 
     def _on_batch_response(self, message: Message) -> None:
-        """Handle the reply to our in-flight Request_batch (if still relevant)."""
+        """Handle a Request_batch reply: in-flight wait or background retry."""
         responded_hash, items = message.payload
-        if items is not None:
+        valid = items is not None and batch_matches_hash(items, responded_hash)
+        if valid:
             # Opportunistically keep any batch we learn about.
-            if batch_matches_hash(items, responded_hash):
-                self.store.register_remote(responded_hash, tuple(items))
+            self.store.register_remote(responded_hash, tuple(items))
         pending = self._pending
-        if pending is None:
-            return
-        block, tx, hb = pending
-        if hb.batch_hash != responded_hash:
-            return
-        self._request_timer.cancel()
-        self._pending = None
-        if items is None or not batch_matches_hash(items, responded_hash):
-            # Lines 28-29: unrecoverable (or forged) batch — skip this hash-batch.
-            self.batch_requests_failed += 1
+        if pending is not None and pending[2].batch_hash == responded_hash:
+            # The in-flight wait supersedes any background retry for the hash.
+            self._unresolved.pop(responded_hash, None)
+            block, _tx, hb = pending
+            self._request_timer.cancel()
+            self._pending = None
+            if not valid:
+                # Lines 28-29: unrecoverable (or forged) reply — skip this
+                # hash-batch for now; background retries ask other signers.
+                self.batch_requests_failed += 1
+                if self.metrics is not None:
+                    self.metrics.record_hash_reversal(self.name, hb.batch_hash, False,
+                                                      self.sim.now)
+                self._note_unresolved(hb.batch_hash)
+                self._finish_after(self.config.tx_processing_overhead)
+                return
             if self.metrics is not None:
-                self.metrics.record_hash_reversal(self.name, hb.batch_hash, False,
+                self.metrics.record_hash_reversal(self.name, hb.batch_hash, True,
                                                   self.sim.now)
-            self._finish_after(self.config.tx_processing_overhead)
+            # Lines 30-34: register the recovered batch, sign the hash ourselves,
+            # and append our own hash-batch to the ledger.
+            items = tuple(items)
+            self._append_own_hash_batch(hb.batch_hash)
+            cost = (self.config.tx_processing_overhead
+                    + len(items) * self.config.element_validation_time)
+            self._consume_batch(block, items, cost)
             return
-        if self.metrics is not None:
-            self.metrics.record_hash_reversal(self.name, hb.batch_hash, True, self.sim.now)
-        # Lines 30-34: register the recovered batch, sign the hash ourselves,
-        # and append our own hash-batch to the ledger.
-        items = tuple(items)
-        self.store.register_remote(hb.batch_hash, items)
-        self._append_own_hash_batch(hb.batch_hash)
-        cost = (self.config.tx_processing_overhead
-                + len(items) * self.config.element_validation_time)
-        self._consume_batch(block, hb, items, cost)
+        if valid and responded_hash in self._unresolved:
+            # A background retry came through (the peer healed/recovered):
+            # run the same lines 30-34 recovery, off the block pipeline.
+            self._unresolved.pop(responded_hash, None)
+            if self.metrics is not None:
+                self.metrics.record_hash_reversal(self.name, responded_hash, True,
+                                                  self.sim.now)
+            self._recover_contents(responded_hash)
 
     def _on_request_timeout(self) -> None:
-        """The signer never answered (it may be Byzantine): skip the hash-batch."""
+        """No answer in time: skip for now, keep retrying in the background.
+
+        The serial block pipeline moves on immediately (the paper's
+        implementation blocks inside FinalizeBlock and must not wedge), but
+        under partial synchrony a timeout may be a transient partition or a
+        crashed-but-recoverable peer rather than a Byzantine one — so the
+        hash is remembered and re-requested with exponential backoff, rotating
+        over every signer seen in the ledger.  A hash whose signers are all
+        genuinely unreachable caps out at :data:`_MAX_REQUEST_RETRIES`.
+        """
         pending = self._pending
         if pending is None:
             return
@@ -160,7 +213,58 @@ class HashchainServer(BaseSetchainServer):
         self.batch_requests_failed += 1
         if self.metrics is not None:
             self.metrics.record_hash_reversal(self.name, hb.batch_hash, False, self.sim.now)
+        self._note_unresolved(hb.batch_hash)
         self._finish_after(self.config.tx_processing_overhead)
+
+    def _note_unresolved(self, digest: str) -> None:
+        """Start a background retry chain for ``digest`` (one chain at most)."""
+        if digest in self._unresolved:
+            return
+        self._retry_token += 1
+        self._unresolved[digest] = self._retry_token
+        self._schedule_retry(digest, 1, self._retry_token)
+
+    def _schedule_retry(self, digest: str, attempt: int, token: int) -> None:
+        # Hashes still awaiting their epoch fill (digest in _fill_meta) must
+        # never stop retrying — the fill queue head-of-line blocks on them;
+        # untriggered hashes cap out (nothing downstream needs their contents).
+        if attempt > _MAX_REQUEST_RETRIES and digest not in self._fill_meta:
+            if self._unresolved.get(digest) == token:
+                del self._unresolved[digest]
+            return
+        delay = self.config.batch_request_timeout * (2 ** min(attempt, _MAX_BACKOFF_EXP))
+        self.sim.call_in(delay, lambda: self._retry_request(digest, attempt, token))
+
+    def _retry_request(self, digest: str, attempt: int, token: int) -> None:
+        if self._unresolved.get(digest) != token:
+            return  # resolved meanwhile, crash-wiped, or superseded by a new chain
+        if self.store.get(digest) is not None:
+            # Contents arrived through another path (a co-signer's response
+            # registered opportunistically): absorb without re-requesting.
+            del self._unresolved[digest]
+            self._recover_contents(digest)
+            return
+        # Rotate over every signer observed in the ledger: a triggered hash
+        # has f+1 of them, so at least one is correct and eventually timely.
+        signers = [signer
+                   for signer in sorted(self.hash_to_signers.get(digest, ()))
+                   if signer != self.name]
+        if not signers:
+            del self._unresolved[digest]
+            return
+        target = signers[(attempt - 1) % len(signers)]
+        self.batch_request_retries += 1
+        self.send(target, "request_batch", digest, size_bytes=_REQUEST_SIZE)
+        self._schedule_retry(digest, attempt + 1, token)
+
+    def _recover_contents(self, digest: str) -> None:
+        """Late content arrival: co-sign, absorb, and fill any unblocked epochs."""
+        items = self.store.get(digest)
+        if items is None:  # pragma: no cover - callers check first
+            return
+        self._append_own_hash_batch(digest)
+        self._absorb_batch(items)
+        self._try_fill_epochs()
 
     def _append_own_hash_batch(self, digest: str) -> None:
         if digest in self._signed_hashes:
@@ -184,20 +288,33 @@ class HashchainServer(BaseSetchainServer):
         if not self.light and not valid_hash_batch(payload, self.scheme):
             self._finish_after(overhead)
             return
+        digest = payload.batch_hash
+        # Ledger-order signer tracking and the consolidation *trigger*: the
+        # f+1-th distinct (signature-valid) signer of a hash in the ledger
+        # queues its epoch — the paper's rule.  The trigger depends only on
+        # ledger content, so every correct server queues the same hashes in
+        # the same order even when content recovery lags behind (partitions,
+        # crashed peers); the epoch itself fills in _try_fill_epochs.
+        signers = self.hash_to_signers.setdefault(digest, set())
+        signers.add(payload.signer)
+        if len(signers) >= self.config.quorum and digest not in self._consolidated:
+            self._consolidated.add(digest)
+            self._fill_queue.append(digest)
+            self._fill_meta[digest] = block
         if self.metrics is not None:
-            self.metrics.record_in_ledger_by_hash(payload.batch_hash, self.sim.now)
-        items = self.store.get(payload.batch_hash)
+            self.metrics.record_in_ledger_by_hash(digest, self.sim.now)
+        items = self.store.get(digest)
         if items is None and self.shared_store is not None:
-            items = self.shared_store.get(payload.batch_hash)
+            items = self.shared_store.get(digest)
             if items is not None:
-                self.store.register_remote(payload.batch_hash, items)
+                self.store.register_remote(digest, items)
         if items is not None:
             # We already hold the contents (our own batch, a batch recovered
             # earlier, or — in light mode — a batch shared out-of-band): no
             # hash reversal and no re-validation cost, but we still co-sign the
             # hash so it can gather its f+1 hash-batches in the ledger.
-            self._append_own_hash_batch(payload.batch_hash)
-            self._consume_batch(block, payload, items, overhead)
+            self._append_own_hash_batch(digest)
+            self._consume_batch(block, items, overhead)
             return
         if self.light:
             # Light mode assumes contents are always available; a missing batch
@@ -212,33 +329,77 @@ class HashchainServer(BaseSetchainServer):
             return
         self._pending = (block, tx, payload)
         self.batch_requests_sent += 1
-        self.send(payload.signer, "request_batch", payload.batch_hash,
+        self.send(payload.signer, "request_batch", digest,
                   size_bytes=_REQUEST_SIZE)
         self._request_timer.start(self.config.batch_request_timeout)
         # _finish_after will be called by the response / timeout handler.
 
-    def _consume_batch(self, block: Block, hb: HashBatch, items: tuple[object, ...],
+    def _consume_batch(self, block: Block, items: tuple[object, ...],
                        duration: float) -> None:
-        """Lines 35-45: absorb proofs, update the_set, track signers, maybe consolidate."""
+        """Absorb a batch from the block pipeline, then release it after ``duration``."""
+        self._absorb_batch(items)
+        self._try_fill_epochs()
+        self._finish_after(duration)
+
+    def _absorb_batch(self, items: tuple[object, ...]) -> None:
+        """Lines 35-40: absorb the batch's epoch-proofs and feed the_set."""
         elements, proofs = split_batch(items)
         self._absorb_proofs(proofs)
-        # G (line 42) computed in the same scan that feeds the_set: nothing
-        # between here and consolidation changes element validity or history
-        # membership, so the paper's recompute-at-consolidation-time yields
-        # exactly this set.
-        fresh: dict[int, Element] = {}
         for element in elements:
             if valid_element(element) and not self._known_in_history(element):
                 self._add_to_the_set(element)
-                # Last occurrence wins for conflicting duplicate ids, exactly
-                # as the separate recompute loop behaved.
-                fresh[element.element_id] = element
-        signers = self.hash_to_signers.setdefault(hb.batch_hash, set())
-        signers.add(hb.signer)
-        if (len(signers) >= self.config.quorum
-                and hb.batch_hash not in self._consolidated):
-            self._consolidated.add(hb.batch_hash)
+
+    def _try_fill_epochs(self) -> None:
+        """Lines 41-45: turn triggered hashes into epochs, strictly in order.
+
+        The head of the fill queue waits until its contents are in the store
+        (the background retry loop is fetching them); later triggered hashes
+        must not overtake it — epoch numbering and the G-sets (line 42,
+        "valid elements not yet in any epoch") are computed in the same
+        trigger order at every correct server, so views converge even when
+        different servers recover different batches at different times.  In a
+        fault-free run contents are always present at trigger time and this
+        collapses to the immediate consolidate-on-consume behaviour.
+        """
+        while self._fill_queue:
+            digest = self._fill_queue[0]
+            items = self.store.get(digest)
+            if items is None and self.shared_store is not None:
+                items = self.shared_store.get(digest)
+                if items is not None:
+                    self.store.register_remote(digest, items)
+            if items is None:
+                return
+            self._fill_queue.popleft()
+            block = self._fill_meta.pop(digest)
+            # G (line 42): last occurrence wins for conflicting duplicate ids.
+            fresh: dict[int, Element] = {}
+            for element in items:
+                if (isinstance(element, Element) and valid_element(element)
+                        and not self._known_in_history(element)):
+                    self._add_to_the_set(element)
+                    fresh[element.element_id] = element
             if fresh:
                 proof = self._record_new_epoch(set(fresh.values()), block)
                 self.add_to_batch(proof)
-        self._finish_after(duration)
+
+    # -- crash faults ------------------------------------------------------------
+
+    def _on_crash(self) -> None:
+        """Volatile hashchain state: the collector, the in-flight request and
+        the retry loops die with the process; the batch store (disk in the
+        paper's deployment), the ledger-derived consolidation queue, and the
+        Setchain state survive for recovery."""
+        super()._on_crash()
+        self.collector.clear()
+        self._request_timer.cancel()
+        self._pending = None
+        self._unresolved.clear()
+
+    def _on_recover(self) -> None:
+        """Replay missed blocks, then re-arm retries for still-missing contents."""
+        super()._on_recover()
+        for digest in self._fill_queue:
+            if self.store.get(digest) is None:
+                self._note_unresolved(digest)
+        self._try_fill_epochs()

@@ -69,3 +69,11 @@ class VanillaServer(BaseSetchainServer):
             self._add_to_the_set(element)
         proof = self._record_new_epoch(new_epoch, block)
         self._append_to_ledger(proof, EPOCH_PROOF_SIZE)
+
+    # -- crash faults ------------------------------------------------------------
+
+    def _on_crash(self) -> None:
+        """The epoch-candidate set of the interrupted block is in-memory
+        state; the block itself is replayed in full on recovery."""
+        super()._on_crash()
+        self._block_elements = {}

@@ -57,6 +57,8 @@ class ExperimentResult:
     efficiency: EfficiencyResult
     commit_times: CommitTimeSummary
     analytical_throughput: float
+    #: Resilience report from the fault injector; ``None`` for fault-free runs.
+    faults: dict | None = None
 
     @property
     def label(self) -> str:
@@ -126,6 +128,8 @@ def package_result(deployment: Deployment, scale: float = 1.0) -> ExperimentResu
                                            total_added=len(deployment.injected_elements),
                                            label=effective.label),
         analytical_throughput=analytical_reference(effective),
+        faults=(deployment.fault_injector.report()
+                if deployment.fault_injector is not None else None),
     )
 
 

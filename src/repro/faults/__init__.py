@@ -1,0 +1,65 @@
+"""Deterministic fault injection: declarative chaos timelines for deployments.
+
+The :mod:`repro.faults` package turns the network's raw test hooks
+(``add_drop_rule``, ``partition``) into a scheduled subsystem:
+
+* :mod:`repro.faults.events` — the typed fault-event DSL (``Partition``,
+  ``Heal``, ``Crash``, ``Recover``, ``MessageLoss``, ``Duplicate``,
+  ``DelaySpike``, ``Churn``) with :class:`Targets` selectors;
+* :class:`FaultScheduleConfig` — the frozen, serialisable timeline carried by
+  :class:`~repro.config.ExperimentConfig`;
+* :class:`FaultInjector` — executes a schedule from simulator timers and
+  condenses the resilience report flowing into ``RunResult.faults``;
+* :func:`register_fault` — the plugin registry, so third-party fault kinds
+  participate in schedules and serialisation without core edits.
+
+Build schedules through the scenario builder
+(``Scenario.hashchain().crash(at=10, until=30)``) or directly::
+
+    from repro.faults import Crash, Partition, Targets, FaultScheduleConfig
+
+    schedule = FaultScheduleConfig(events=(
+        Partition(at=10.0, until=25.0, group=Targets(role="servers", count=3)),
+        Crash(at=30.0, until=40.0, targets=Targets(nodes=("server-0",))),
+    ))
+"""
+
+from __future__ import annotations
+
+from .events import (
+    Churn,
+    Crash,
+    DelaySpike,
+    Duplicate,
+    FaultEvent,
+    Heal,
+    MessageLoss,
+    Partition,
+    Recover,
+    Targets,
+)
+from .injector import FaultContext, FaultInjector
+from .plugins import fault_names, get_fault, has_fault, register_fault, unregister_fault
+from .schedule import DEFAULT_AVAILABILITY_WINDOW, FaultScheduleConfig
+
+__all__ = [
+    "Churn",
+    "Crash",
+    "DelaySpike",
+    "Duplicate",
+    "FaultContext",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultScheduleConfig",
+    "DEFAULT_AVAILABILITY_WINDOW",
+    "Heal",
+    "MessageLoss",
+    "Partition",
+    "Recover",
+    "Targets",
+    "fault_names",
+    "get_fault",
+    "has_fault",
+    "register_fault",
+    "unregister_fault",
+]

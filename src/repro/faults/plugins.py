@@ -1,0 +1,69 @@
+"""The fault-event registry: ``@register_fault`` and kind lookups.
+
+Mirrors the :mod:`repro.topology.plugins` registries (same
+:class:`~repro.topology.plugins.PluginRegistry` machinery, same lazy-builtins
+pattern, same did-you-mean lookups): each fault *kind* maps to its event
+class, so serialised schedules (``FaultScheduleConfig.from_dict``) and
+user-authored chaos timelines resolve through one table that third-party code
+can extend without editing core::
+
+    from repro.faults import FaultEvent, register_fault
+
+    @register_fault("clock-skew")
+    @dataclass(frozen=True, kw_only=True)
+    class ClockSkew(FaultEvent):
+        skew_ms: float = 0.0
+
+        def apply(self, ctx):
+            ...
+
+The built-in kinds (partition/heal/crash/recover/message-loss/duplicate/
+delay-spike/churn) are registered by :mod:`repro.faults.events`, loaded
+lazily on first registry access.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..topology.plugins import PluginRegistry, once
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .events import FaultEvent
+
+
+def _load_builtins() -> None:
+    from . import events  # noqa: F401  (imported for its side effect)
+
+
+_FAULTS: "PluginRegistry[type[FaultEvent]]" = PluginRegistry(
+    "fault", loader=once(_load_builtins))
+
+
+def register_fault(name: str, *, replace: bool = False):
+    """Decorator registering a :class:`~repro.faults.events.FaultEvent` class.
+
+    The registered name becomes the event's wire ``kind`` (used by
+    ``to_dict``/``from_dict``), so schedules serialised into
+    ``ExperimentConfig`` echoes round-trip through the registry.
+    """
+    def decorator(event_cls: "type[FaultEvent]") -> "type[FaultEvent]":
+        event_cls.kind = name
+        return _FAULTS.register(name, event_cls, replace=replace)
+    return decorator
+
+
+def get_fault(name: str) -> "type[FaultEvent]":
+    return _FAULTS.get(name)
+
+
+def fault_names() -> list[str]:
+    return _FAULTS.names()
+
+
+def has_fault(name: str) -> bool:
+    return name in _FAULTS
+
+
+def unregister_fault(name: str) -> None:
+    _FAULTS.unregister(name)

@@ -67,7 +67,6 @@ class CometBFTNode(NetworkNode, LedgerInterface):
         self._round_timer = Timer(sim, self._on_round_timeout)
         self._propose_timer = Timer(sim, self._maybe_propose)
         self._last_commit_time = 0.0
-        self._crashed = False
         #: The fixed fan-out set for consensus traffic (validators only).
         self._peer_validators = tuple(peer for peer in validators.names
                                       if peer != name)
@@ -92,7 +91,7 @@ class CometBFTNode(NetworkNode, LedgerInterface):
 
     def append(self, tx: Transaction) -> None:
         """``BroadcastTxAsync``: validate, admit to the local mempool, gossip."""
-        if self._crashed:
+        if self.crashed:
             return
         if self.app is not None and not self.app.check_tx(tx):
             return
@@ -115,20 +114,57 @@ class CometBFTNode(NetworkNode, LedgerInterface):
         self._schedule_proposal()
         self._round_timer.start(self.config.block_interval * _ROUND_TIMEOUT_FACTOR)
 
-    def crash(self) -> None:
-        """Crash-fault: stop participating entirely (no messages in or out)."""
-        self._crashed = True
+    def _on_crash(self) -> None:
+        """Crash-fault: stop participating entirely (no messages in or out).
+
+        The base :class:`~repro.net.node.NetworkNode` crash state already
+        silences traffic; the consensus timers are cancelled here.  The
+        committed chain, the mempool contents, and the app subscription are
+        durable and survive for :meth:`catch_up`.
+        """
         self._round_timer.cancel()
         self._propose_timer.cancel()
 
-    @property
-    def crashed(self) -> bool:
-        return self._crashed
+    def _on_recover(self) -> None:
+        """Rejoin consensus at the current height with a fresh round state.
 
-    def deliver(self, message: Message) -> None:  # crash faults swallow traffic
-        if self._crashed:
-            return
-        super().deliver(message)
+        A bare :meth:`~repro.net.node.NetworkNode.recover` resumes at the
+        pre-crash height; :meth:`CometBFTNetwork.recover_node` additionally
+        block-syncs the missed chain from a live peer before resuming.
+        """
+        self._resume()
+
+    def catch_up(self, blocks: "list[Block]") -> None:
+        """Block-sync: adopt already-committed blocks from a peer's chain.
+
+        Each block is committed locally exactly as :meth:`_try_commit` would
+        have (chain append, inclusion heights, mempool eviction, FinalizeBlock
+        to the application) and the node resumes consensus past them.
+        """
+        for block in blocks:
+            if block.height < self.height:
+                continue
+            self.committed_blocks.append(block)
+            for tx in block.transactions:
+                self.inclusion_height[tx.tx_id] = block.height
+            self.mempool.remove_committed(list(block.transactions))
+            if self.app is not None:
+                self.app.finalize_block(block)
+            self.height = block.height + 1
+        if blocks:
+            self._resume()
+
+    def _resume(self) -> None:
+        """Restart consensus at ``self.height`` (fresh round, re-armed timers)."""
+        self._last_commit_time = self.sim.now
+        self.state = ConsensusState(height=self.height)
+        self._future = {height: messages
+                        for height, messages in self._future.items()
+                        if height >= self.height}
+        self._round_timer.start(self.config.block_interval * _ROUND_TIMEOUT_FACTOR)
+        self._schedule_proposal()
+        for message in self._future.pop(self.height, []):
+            NetworkNode.deliver(self, message)
 
     # -- mempool gossip ----------------------------------------------------------
 
@@ -148,14 +184,14 @@ class CometBFTNode(NetworkNode, LedgerInterface):
 
     def _schedule_proposal(self) -> None:
         """Arm the propose timer if this node proposes the current height/round."""
-        if self._crashed or not self._is_proposer(self.height, self.state.round):
+        if self.crashed or not self._is_proposer(self.height, self.state.round):
             return
         elapsed = self.sim.now - self._last_commit_time
         delay = max(0.0, self.config.block_interval - elapsed)
         self._propose_timer.start(delay)
 
     def _maybe_propose(self) -> None:
-        if self._crashed or self.state.committed:
+        if self.crashed or self.state.committed:
             return
         if not self._is_proposer(self.height, self.state.round):
             return
@@ -221,7 +257,7 @@ class CometBFTNode(NetworkNode, LedgerInterface):
         proposals, votes recorded for a round we have not entered yet, and
         nil-round changeovers all converge.
         """
-        if self._crashed or self.state.committed:
+        if self.crashed or self.state.committed:
             return
         state = self.state
         quorum = self.validators.quorum
@@ -302,7 +338,7 @@ class CometBFTNode(NetworkNode, LedgerInterface):
         neither reaching a 2f+1 quorum — without the escalation every
         validator has already voted and the round would deadlock forever.
         """
-        if self._crashed or self.state.committed:
+        if self.crashed or self.state.committed:
             return
         state = self.state
         if state.proposal is None and not state.prevoted:
@@ -371,6 +407,38 @@ class CometBFTNetwork:
 
     def node_list(self) -> list[CometBFTNode]:
         return [self.nodes[name] for name in self.validators.names]
+
+    def crash_node(self, name: str) -> None:
+        """Crash-fault one validator (used by the fault injector)."""
+        try:
+            self.nodes[name].crash()
+        except KeyError:
+            raise ConsensusError(f"unknown validator {name!r}") from None
+
+    def recover_node(self, name: str) -> None:
+        """Recover a crashed validator, block-syncing from the best live peer.
+
+        The recovering node adopts the longest chain held by any live
+        validator (CometBFT's blocksync, collapsed to an instantaneous state
+        transfer) before rejoining consensus; with no live peer it resumes
+        from its own last committed height.
+        """
+        try:
+            node = self.nodes[name]
+        except KeyError:
+            raise ConsensusError(f"unknown validator {name!r}") from None
+        if not node.crashed:
+            return
+        best: CometBFTNode | None = None
+        for peer in self.node_list():
+            if peer is node or peer.crashed:
+                continue
+            if best is None or peer.height > best.height:
+                best = peer
+        node.recover()
+        if best is not None:
+            node.catch_up([block for block in best.committed_blocks
+                           if block.height >= node.height])
 
     def min_committed_height(self) -> int:
         """Highest block height committed by every live node."""

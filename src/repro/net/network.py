@@ -13,14 +13,21 @@ from .node import NetworkNode
 #: A fault-injection filter: returns True if the message should be dropped.
 DropRule = Callable[[Message], bool]
 
+#: A fault-injection filter: returns True if the message should be duplicated.
+DuplicateRule = Callable[[Message], bool]
+
+#: A fault-injection delay: extra seconds to add to the message's latency.
+DelayRule = Callable[[Message], float]
+
 
 class Network:
     """Connects :class:`NetworkNode` instances through the simulator.
 
     Delivery is reliable and exactly-once for correct processes (the system
-    model's assumption).  Fault-injection hooks (:meth:`add_drop_rule`,
-    :meth:`partition`) exist for tests that model faulty processes or explore
-    behaviour outside the model's guarantees.
+    model's assumption).  Fault-injection hooks — :meth:`partition` /
+    :meth:`heal`, drop, duplicate, and delay rules — model faulty processes
+    and behaviour outside the model's guarantees; they are driven
+    declaratively by :mod:`repro.faults` and remain usable directly in tests.
     """
 
     def __init__(self, sim: Simulator, latency: LatencyModel | None = None) -> None:
@@ -28,12 +35,21 @@ class Network:
         self.latency = latency if latency is not None else ConstantLatency()
         self._nodes: dict[str, NetworkNode] = {}
         self._drop_rules: list[DropRule] = []
+        self._duplicate_rules: list[DuplicateRule] = []
+        self._delay_rules: list[DelayRule] = []
         self._partitions: list[tuple[frozenset[str], frozenset[str]]] = []
+        #: Normalised keys of installed partitions (idempotence + targeted heal).
+        self._partition_keys: set[frozenset[frozenset[str]]] = set()
+        #: True while any fault hook is installed; transmit/multicast branch to
+        #: the shared slow path on this single flag so the fault-free hot path
+        #: stays exactly as fast as before the fault subsystem existed.
+        self._faulty = False
         #: Sorted node names, rebuilt on registration (broadcast hot path).
         self._sorted_names: tuple[str, ...] = ()
         #: Totals for observability.
         self.messages_delivered = 0
         self.messages_dropped = 0
+        self.messages_duplicated = 0
         self.bytes_delivered = 0
         self._rng = sim.rng.derive("network")
 
@@ -65,20 +81,85 @@ class Network:
 
     # -- fault injection -------------------------------------------------------
 
+    def _refresh_faulty(self) -> None:
+        self._faulty = bool(self._partitions or self._drop_rules
+                            or self._duplicate_rules or self._delay_rules)
+
     def add_drop_rule(self, rule: DropRule) -> None:
         """Drop every message for which ``rule(message)`` is true."""
         self._drop_rules.append(rule)
+        self._refresh_faulty()
+
+    def remove_drop_rule(self, rule: DropRule) -> None:
+        """Uninstall a drop rule (no-op if it is not installed)."""
+        if rule in self._drop_rules:
+            self._drop_rules.remove(rule)
+        self._refresh_faulty()
 
     def clear_drop_rules(self) -> None:
         self._drop_rules.clear()
+        self._refresh_faulty()
+
+    def add_duplicate_rule(self, rule: DuplicateRule) -> None:
+        """Deliver a second copy of every message for which ``rule`` is true."""
+        self._duplicate_rules.append(rule)
+        self._refresh_faulty()
+
+    def remove_duplicate_rule(self, rule: DuplicateRule) -> None:
+        if rule in self._duplicate_rules:
+            self._duplicate_rules.remove(rule)
+        self._refresh_faulty()
+
+    def add_delay_rule(self, rule: DelayRule) -> None:
+        """Add ``rule(message)`` extra seconds to matching messages' latency."""
+        self._delay_rules.append(rule)
+        self._refresh_faulty()
+
+    def remove_delay_rule(self, rule: DelayRule) -> None:
+        if rule in self._delay_rules:
+            self._delay_rules.remove(rule)
+        self._refresh_faulty()
+
+    @staticmethod
+    def _partition_key(group_a: set[str] | frozenset[str],
+                       group_b: set[str] | frozenset[str]) -> frozenset[frozenset[str]]:
+        return frozenset((frozenset(group_a), frozenset(group_b)))
 
     def partition(self, group_a: set[str], group_b: set[str]) -> None:
-        """Silently drop all traffic between the two groups until :meth:`heal`."""
-        self._partitions.append((frozenset(group_a), frozenset(group_b)))
+        """Silently drop all traffic between the two groups until :meth:`heal`.
 
-    def heal(self) -> None:
-        """Remove all partitions."""
-        self._partitions.clear()
+        Idempotent: installing the same cut twice (in either group order) is a
+        no-op, so a duplicated ``partition()`` never needs two heals and never
+        skews the drop accounting.
+        """
+        key = self._partition_key(group_a, group_b)
+        if key in self._partition_keys:
+            return
+        self._partition_keys.add(key)
+        self._partitions.append((frozenset(group_a), frozenset(group_b)))
+        self._refresh_faulty()
+
+    def heal(self, group_a: set[str] | None = None,
+             group_b: set[str] | None = None) -> None:
+        """Remove partitions: all of them, or exactly one cut.
+
+        With no arguments every partition is removed (the historical
+        behaviour).  With both groups, only the matching cut — in either group
+        order — is removed, leaving other partitions installed; healing a cut
+        that is not installed is a no-op.
+        """
+        if group_a is None and group_b is None:
+            self._partitions.clear()
+            self._partition_keys.clear()
+        elif group_a is None or group_b is None:
+            raise NetworkError("heal() takes both groups or neither")
+        else:
+            key = self._partition_key(group_a, group_b)
+            if key in self._partition_keys:
+                self._partition_keys.discard(key)
+                self._partitions = [pair for pair in self._partitions
+                                    if self._partition_key(*pair) != key]
+        self._refresh_faulty()
 
     def _crosses_partition(self, message: Message) -> bool:
         for group_a, group_b in self._partitions:
@@ -100,10 +181,8 @@ class Network:
                 f"{message.sender!r} sent {message.msg_type!r} to unknown node "
                 f"{message.recipient!r}"
             )
-        if ((self._partitions and self._crosses_partition(message))
-                or (self._drop_rules
-                    and any(rule(message) for rule in self._drop_rules))):
-            self.messages_dropped += 1
+        if self._faulty:
+            self._transmit_faulty(message)
             return
         if message.sender == message.recipient:
             # Local self-delivery has no network latency but is still async so
@@ -114,6 +193,43 @@ class Network:
                                    message.size_bytes)
         self.sim.call_in(delay, lambda: self._deliver(message))
 
+    def _transmit_faulty(self, message: Message) -> None:
+        """The single fault-aware scheduling path.
+
+        Both :meth:`transmit` and :meth:`multicast` funnel through here
+        whenever any fault hook (partition, drop, duplicate, or delay rule)
+        is installed, so the two paths produce identical drop/duplicate/byte
+        accounting and identical RNG draw order by construction.
+        """
+        if ((self._partitions and self._crosses_partition(message))
+                or (self._drop_rules
+                    and any(rule(message) for rule in self._drop_rules))):
+            self.messages_dropped += 1
+            return
+        extra = 0.0
+        for delay_rule in self._delay_rules:
+            extra += delay_rule(message)
+        local = message.sender == message.recipient
+        if local and extra <= 0.0:
+            self.sim.call_soon(lambda: self._deliver(message))
+        else:
+            base = 0.0 if local else self.latency.delay(
+                self._rng, message.sender, message.recipient, message.size_bytes)
+            self.sim.call_in(base + extra, lambda: self._deliver(message))
+        for duplicate_rule in self._duplicate_rules:
+            if duplicate_rule(message):
+                # The duplicate copy draws its own latency (and delay-rule
+                # extras), modelling an independent second network path.
+                self.messages_duplicated += 1
+                dup_base = 0.0 if local else self.latency.delay(
+                    self._rng, message.sender, message.recipient,
+                    message.size_bytes)
+                dup_extra = 0.0
+                for delay_rule in self._delay_rules:
+                    dup_extra += delay_rule(message)
+                self.sim.call_in(dup_base + dup_extra,
+                                 lambda: self._deliver(message))
+
     def multicast(self, sender: str, msg_type: str, payload: object,
                   size_bytes: int = 0,
                   recipients: list[str] | tuple[str, ...] | None = None) -> int:
@@ -122,15 +238,18 @@ class Network:
         Every per-recipient envelope shares the *same* payload object — the
         payload (and its modelled size) is computed once by the caller, never
         re-serialised per recipient — and the fault-injection checks are
-        hoisted out of the loop when no partitions or drop rules are
-        installed.  ``recipients`` defaults to every registered node except
-        the sender, in sorted order; delivery semantics (latency draws,
-        ordering, drop accounting) are identical to calling :meth:`transmit`
-        once per recipient.  Returns the number of messages transmitted.
+        hoisted out of the loop when no fault hooks are installed.  With
+        faults installed every envelope goes through the same
+        :meth:`_transmit_faulty` path as :meth:`transmit`, so the two paths
+        can never diverge in drop/duplicate/byte accounting.  ``recipients``
+        defaults to every registered node except the sender, in sorted order;
+        delivery semantics (latency draws, ordering, drop accounting) are
+        identical to calling :meth:`transmit` once per recipient.  Returns
+        the number of messages transmitted.
         """
         if recipients is None:
             recipients = [name for name in self._sorted_names if name != sender]
-        filtered = bool(self._partitions or self._drop_rules)
+        filtered = self._faulty
         nodes = self._nodes
         sim = self.sim
         delay_of = self.latency.delay
@@ -143,9 +262,8 @@ class Network:
                 raise NetworkError(
                     f"{sender!r} sent {msg_type!r} to unknown node {recipient!r}"
                 )
-            if filtered and (self._crosses_partition(message)
-                             or any(rule(message) for rule in self._drop_rules)):
-                self.messages_dropped += 1
+            if filtered:
+                self._transmit_faulty(message)
                 continue
             if recipient == sender:
                 sim.call_soon(lambda m=message: self._deliver(m))
@@ -156,7 +274,8 @@ class Network:
 
     def _deliver(self, message: Message) -> None:
         node = self._nodes.get(message.recipient)
-        if node is None:  # node removed mid-flight; treat as dropped
+        if node is None or node.crashed:
+            # Node removed mid-flight or crash-faulted: the message is lost.
             self.messages_dropped += 1
             return
         self.messages_delivered += 1

@@ -28,6 +28,10 @@ class NetworkNode:
         self.sim = sim
         self._network: "Network | None" = None
         self._handlers: dict[str, Handler] = {}
+        #: Crash-fault state: a crashed node neither sends nor receives (the
+        #: network counts traffic to it as dropped).  Plain attribute, not a
+        #: property — it is read on the per-message delivery hot path.
+        self.crashed = False
         #: Counters for observability / tests.
         self.messages_sent = 0
         self.messages_received = 0
@@ -50,11 +54,43 @@ class NetworkNode:
         """Register the handler invoked for messages of ``msg_type``."""
         self._handlers[msg_type] = handler
 
+    # -- crash faults ----------------------------------------------------------
+
+    def crash(self) -> None:
+        """Crash-fault the node: it stops sending and receiving entirely.
+
+        Subclasses release volatile state in :meth:`_on_crash` (cancel timers,
+        drop in-memory buffers); durable state — anything a real process keeps
+        on disk — survives for :meth:`recover`.  Idempotent.
+        """
+        if self.crashed:
+            return
+        self.crashed = True
+        self._on_crash()
+
+    def recover(self) -> None:
+        """Bring a crashed node back; :meth:`_on_recover` re-synchronises state.
+
+        Idempotent; a no-op on a node that is up.
+        """
+        if not self.crashed:
+            return
+        self.crashed = False
+        self._on_recover()
+
+    def _on_crash(self) -> None:
+        """Hook: release volatile state when the node crashes (default: none)."""
+
+    def _on_recover(self) -> None:
+        """Hook: replay/re-synchronise state on recovery (default: none)."""
+
     # -- sending --------------------------------------------------------------
 
     def send(self, recipient: str, msg_type: str, payload: Any,
              size_bytes: int = 0) -> None:
-        """Send a point-to-point message."""
+        """Send a point-to-point message (silently dropped while crashed)."""
+        if self.crashed:
+            return
         message = Message(sender=self.name, recipient=recipient,
                           msg_type=msg_type, payload=payload, size_bytes=size_bytes)
         self.messages_sent += 1
@@ -67,7 +103,10 @@ class NetworkNode:
 
         Routed through :meth:`~repro.net.network.Network.multicast`, so the
         payload object and size accounting are shared across recipients.
+        Silently dropped while crashed.
         """
+        if self.crashed:
+            return
         network = self.network
         recipients = network.node_names() if include_self else None
         sent = network.multicast(self.name, msg_type, payload, size_bytes,
@@ -79,6 +118,8 @@ class NetworkNode:
 
     def deliver(self, message: Message) -> None:
         """Entry point used by the network when a message arrives."""
+        if self.crashed:  # defence in depth; the network already drops these
+            return
         self.messages_received += 1
         self.bytes_received += message.size_bytes
         handler = self._handlers.get(message.msg_type)

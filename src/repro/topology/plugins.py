@@ -100,16 +100,27 @@ F = TypeVar("F")
 
 
 class PluginRegistry(Generic[F]):
-    """A named factory table with did-you-mean lookups and lazy builtins."""
+    """A named factory table with did-you-mean lookups and lazy builtins.
 
-    def __init__(self, kind: str) -> None:
+    ``loader`` is invoked before every table access so each registry can
+    populate its built-in entries on first use; the fault-event registry in
+    :mod:`repro.faults.plugins` reuses this class with its own loader.
+    """
+
+    def __init__(self, kind: str,
+                 loader: "Callable[[], None] | None" = None) -> None:
         self.kind = kind
         self._factories: dict[str, F] = {}
+        self._loader = loader
+
+    def _ensure(self) -> None:
+        if self._loader is not None:
+            self._loader()
 
     def register(self, name: str, factory: F, *, replace: bool = False) -> F:
         if not name:
             raise ConfigurationError(f"{self.kind} name cannot be empty")
-        _ensure_builtins()
+        self._ensure()
         if name in self._factories and not replace:
             raise ConfigurationError(
                 f"{self.kind} {name!r} is already registered "
@@ -119,11 +130,11 @@ class PluginRegistry(Generic[F]):
 
     def unregister(self, name: str) -> None:
         """Remove an entry (primarily for tests un-doing registrations)."""
-        _ensure_builtins()
+        self._ensure()
         self._factories.pop(name, None)
 
     def get(self, name: str) -> F:
-        _ensure_builtins()
+        self._ensure()
         factory = self._factories.get(name)
         if factory is None:
             raise ConfigurationError(
@@ -132,35 +143,53 @@ class PluginRegistry(Generic[F]):
         return factory
 
     def names(self) -> list[str]:
-        _ensure_builtins()
+        self._ensure()
         return sorted(self._factories)
 
     def __contains__(self, name: str) -> bool:
-        _ensure_builtins()
+        self._ensure()
         return name in self._factories
 
 
-_ALGORITHMS: PluginRegistry[AlgorithmFactory] = PluginRegistry("algorithm")
+def once(loader: "Callable[[], None]") -> "Callable[[], None]":
+    """Wrap a registry loader so it runs exactly once and never re-enters.
+
+    Loaders import a builtins module whose registrations call back into the
+    registry (and hence the loader); the loading flag breaks that recursion,
+    and the loaded flag makes every later access a cheap no-op.  Shared by
+    the topology registries here and the fault registry in
+    :mod:`repro.faults.plugins` — one loader can safely back several
+    registries.
+    """
+    state = {"loaded": False, "loading": False}
+
+    def ensure() -> None:
+        if state["loaded"] or state["loading"]:
+            return
+        state["loading"] = True
+        try:
+            loader()
+        finally:
+            state["loading"] = False
+        state["loaded"] = True
+
+    return ensure
+
+
+def _load_builtins() -> None:
+    from . import builtins  # noqa: F401  (imported for its side effect)
+
+
+#: Load the built-in registrations on first registry access.
+_ensure_builtins = once(_load_builtins)
+
+
+_ALGORITHMS: PluginRegistry[AlgorithmFactory] = PluginRegistry(
+    "algorithm", loader=_ensure_builtins)
 _LEDGER_BACKENDS: PluginRegistry[LedgerBackendFactory] = (
-    PluginRegistry("ledger backend"))
+    PluginRegistry("ledger backend", loader=_ensure_builtins))
 _LATENCY_PROFILES: PluginRegistry[LatencyProfileFactory] = (
-    PluginRegistry("latency profile"))
-
-_builtins_loaded = False
-_builtins_loading = False
-
-
-def _ensure_builtins() -> None:
-    """Load the built-in registrations on first registry access."""
-    global _builtins_loaded, _builtins_loading
-    if _builtins_loaded or _builtins_loading:
-        return
-    _builtins_loading = True
-    try:
-        from . import builtins  # noqa: F401  (imported for its side effect)
-    finally:
-        _builtins_loading = False
-    _builtins_loaded = True
+    PluginRegistry("latency profile", loader=_ensure_builtins))
 
 
 # -- decorators ----------------------------------------------------------------

@@ -25,7 +25,8 @@ def run_example(name: str) -> str:
 def test_examples_directory_contents():
     names = {p.name for p in EXAMPLES_DIR.glob("*.py")}
     assert {"quickstart.py", "digital_registry.py", "voting.py",
-            "byzantine_tolerance.py", "throughput_comparison.py"} <= names
+            "byzantine_tolerance.py", "throughput_comparison.py",
+            "chaos_partition.py"} <= names
 
 
 def test_quickstart_example():
@@ -51,3 +52,10 @@ def test_byzantine_tolerance_example():
     assert "honest elements epoched on every correct server : 30/30" in out
     assert "withheld elements epoched anywhere              : 0/10" in out
     assert "OK" in out
+
+
+def test_chaos_partition_example():
+    out = run_example("chaos_partition.py")
+    assert "chaos timeline:" in out
+    assert "availability by window:" in out
+    assert "correct-server check : OK" in out

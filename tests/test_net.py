@@ -184,3 +184,155 @@ def test_node_names_sorted_and_membership(sim):
     assert len(network) == 3
     with pytest.raises(NetworkError):
         network.node("nope")
+
+
+# -- targeted heal / idempotent partitions (fault-injection contract) ------------
+
+def test_partition_is_idempotent_in_either_group_order(pair, sim):
+    network, a, b = pair
+    network.partition({"a"}, {"b"})
+    network.partition({"a"}, {"b"})
+    network.partition({"b"}, {"a"})
+    assert len(network._partitions) == 1
+    a.send("b", "ping", "blocked")
+    sim.run_until(1.0)
+    assert network.messages_dropped == 1
+    # One heal removes the (single) cut completely.
+    network.heal({"a"}, {"b"})
+    a.send("b", "ping", "through")
+    sim.run_until(2.0)
+    assert [p for _, _, p in b.received] == ["through"]
+
+
+def test_targeted_heal_removes_only_the_matching_cut(sim):
+    network = Network(sim, latency=ConstantLatency(base=0.001))
+    nodes = {name: Recorder(name, sim) for name in ("a", "b", "c")}
+    for node in nodes.values():
+        network.register(node)
+    network.partition({"a"}, {"b"})
+    network.partition({"a"}, {"c"})
+    network.heal({"b"}, {"a"})  # reversed order matches too
+    nodes["a"].send("b", "ping", "to-b")
+    nodes["a"].send("c", "ping", "to-c")
+    sim.run_until(1.0)
+    assert [p for _, _, p in nodes["b"].received] == ["to-b"]
+    assert nodes["c"].received == []  # a-c cut still installed
+    network.heal()  # no arguments: clear everything
+    nodes["a"].send("c", "ping", "now")
+    sim.run_until(2.0)
+    assert [p for _, _, p in nodes["c"].received] == ["now"]
+    with pytest.raises(NetworkError):
+        network.heal({"a"}, None)  # type: ignore[arg-type]
+
+
+def test_heal_of_uninstalled_cut_is_a_noop(pair, sim):
+    network, a, b = pair
+    network.partition({"a"}, {"b"})
+    network.heal({"a"}, {"nope"})
+    a.send("b", "ping", "blocked")
+    sim.run_until(1.0)
+    assert b.received == []
+
+
+# -- multicast vs per-recipient transmit accounting parity under faults ----------
+# Regression for the hoisted-check fast path: with any fault hook installed,
+# both paths must produce identical drop/duplicate/byte accounting and
+# identical RNG draw order.
+
+def _faulted(network):
+    """Install one of each fault hook, deterministic by message id parity."""
+    network.partition({"n0"}, {"n2"})
+    network.add_drop_rule(lambda m: m.msg_type == "dropme")
+    network.add_drop_rule(lambda m: m.payload == "lossy" and m.size_bytes % 2 == 1)
+    network.add_duplicate_rule(lambda m: m.msg_type == "ping" and m.recipient == "n1")
+    network.add_delay_rule(lambda m: 0.050 if m.recipient == "n3" else 0.0)
+
+
+def _accounting(network, nodes):
+    return (network.messages_delivered, network.messages_dropped,
+            network.messages_duplicated, network.bytes_delivered,
+            {name: (node.messages_received, node.bytes_received,
+                    [t for t, _, _ in node.received])
+             for name, node in nodes.items()})
+
+
+def _fanout_network(sim):
+    network = Network(sim, latency=UniformLatency(low=0.005, high=0.020))
+    nodes = {f"n{i}": Recorder(f"n{i}", sim) for i in range(4)}
+    for node in nodes.values():
+        network.register(node)
+    _faulted(network)
+    return network, nodes
+
+
+def test_multicast_and_transmit_accounting_identical_under_faults():
+    sim_m, sim_t = Simulator(seed=42), Simulator(seed=42)
+    net_m, nodes_m = _fanout_network(sim_m)
+    net_t, nodes_t = _fanout_network(sim_t)
+    for round_ in range(20):
+        msg_type = ("ping", "dropme", "data")[round_ % 3]
+        size = 10 + round_
+        payload = "lossy" if round_ % 4 == 0 else f"r{round_}"
+        # Path A: the broadcast fast path.
+        net_m.multicast("n0", msg_type, payload, size_bytes=size)
+        # Path B: one transmit per recipient, same sorted order.
+        for recipient in ("n1", "n2", "n3"):
+            net_t.transmit(Message(sender="n0", recipient=recipient,
+                                   msg_type=msg_type, payload=payload,
+                                   size_bytes=size))
+    sim_m.run_until(10.0)
+    sim_t.run_until(10.0)
+    assert _accounting(net_m, nodes_m) == _accounting(net_t, nodes_t)
+    assert net_m.messages_dropped > 0 and net_m.messages_duplicated > 0
+
+
+def test_delay_rule_shifts_delivery_time(pair, sim):
+    network, a, b = pair
+    rule = lambda m: 0.5  # noqa: E731
+    network.add_delay_rule(rule)
+    a.send("b", "ping", "slow")
+    sim.run_until(1.0)
+    assert b.received and b.received[0][0] == pytest.approx(0.510)
+    network.remove_delay_rule(rule)
+    a.send("b", "ping", "fast")
+    sim.run_until(2.0)
+    assert b.received[1][0] == pytest.approx(1.010)
+
+
+def test_duplicate_rule_delivers_twice_and_counts(pair, sim):
+    network, a, b = pair
+    rule = lambda m: m.msg_type == "ping"  # noqa: E731
+    network.add_duplicate_rule(rule)
+    a.send("b", "ping", "twice")
+    a.send("b", "data", "once")
+    sim.run_until(1.0)
+    assert [p for _, _, p in b.received].count("twice") == 2
+    assert [p for _, _, p in b.received].count("once") == 1
+    assert network.messages_duplicated == 1
+    assert network.messages_delivered == 3
+    network.remove_duplicate_rule(rule)
+    a.send("b", "ping", "single")
+    sim.run_until(2.0)
+    assert [p for _, _, p in b.received].count("single") == 1
+
+
+def test_crashed_recipient_traffic_counts_as_dropped(pair, sim):
+    network, a, b = pair
+    b.crash()
+    a.send("b", "ping", "lost")
+    sim.run_until(1.0)
+    assert b.received == [] and b.messages_received == 0
+    assert network.messages_dropped == 1
+    b.recover()
+    a.send("b", "ping", "back")
+    sim.run_until(2.0)
+    assert [p for _, _, p in b.received] == ["back"]
+
+
+def test_crashed_sender_sends_nothing(pair, sim):
+    network, a, b = pair
+    a.crash()
+    a.send("b", "ping", "void")
+    a.broadcast("ping", "void")
+    sim.run_until(1.0)
+    assert a.messages_sent == 0 and b.received == []

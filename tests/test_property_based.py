@@ -1,5 +1,6 @@
 """Property-based tests (hypothesis) on core data structures and invariants."""
 
+import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
@@ -149,3 +150,60 @@ def test_rolling_throughput_total_mass_matches_commit_count(commit_times):
     assert series.peak() <= len(commit_times) / 9.0 + 1e-9
     avg = average_throughput(sorted(commit_times), up_to=200.0)
     assert avg == len(commit_times) / 200.0
+
+
+# -- Properties 1-8 under random fault schedules (repro.faults) -------------------------------------------
+# The paper claims Properties 1-8 for *correct* servers with correct servers
+# >= quorum.  Random chaos timelines — crashes with recovery, short
+# partitions, background message loss — must not break any of them for the
+# never-crashed servers, for any of the three algorithms.  Every fault ends
+# well before the drain so "eventually" has room to happen (partial
+# synchrony: the network is eventually timely again).
+
+_fault_runs = settings(max_examples=5, deadline=None,
+                       suppress_health_check=[HealthCheck.too_slow])
+
+
+@pytest.mark.parametrize("algorithm", ["vanilla", "compresschain", "hashchain"])
+@_fault_runs
+@given(data=st.data())
+def test_properties_hold_for_correct_servers_under_random_faults(algorithm, data):
+    from repro.api import Scenario
+    from repro.core.deployment import run_experiment
+    from repro.core.properties import check_all
+    from repro.faults import Crash, MessageLoss, Partition, Targets
+
+    events = []
+    crashed = []
+    # Up to two crash-recover windows hitting distinct servers: 4 servers,
+    # f=1, quorum=2, so >= 2 never-crashed servers remain (>= quorum).
+    for victim in ("server-2", "server-3"):
+        if data.draw(st.booleans(), label=f"crash {victim}"):
+            at = data.draw(st.floats(0.2, 3.0), label=f"{victim} at")
+            down = data.draw(st.floats(0.5, 2.5), label=f"{victim} down for")
+            events.append(Crash(at=at, until=at + down,
+                                targets=Targets(nodes=(victim,))))
+            crashed.append(victim)
+    if data.draw(st.booleans(), label="partition"):
+        at = data.draw(st.floats(0.2, 3.5), label="partition at")
+        width = data.draw(st.floats(0.3, 2.0), label="partition width")
+        count = data.draw(st.integers(1, 2), label="partition size")
+        events.append(Partition(at=at, until=at + width,
+                                group=Targets(role="servers", count=count)))
+    if data.draw(st.booleans(), label="loss"):
+        rate = data.draw(st.floats(0.005, 0.05), label="loss rate")
+        events.append(MessageLoss(at=0.0, until=4.0, rate=rate))
+    seed = data.draw(st.integers(0, 2**16), label="seed")
+
+    config = (Scenario(algorithm).servers(4).rate(150).collector(10)
+              .inject_for(4).drain(40).backend("ideal")
+              .faults(*events).seed(seed).build())
+    deployment = run_experiment(config)
+
+    views = {server.name: server.get() for server in deployment.servers
+             if server.name not in crashed}
+    assert len(views) >= config.setchain.quorum
+    violations = check_all(views, quorum=config.setchain.quorum,
+                           all_added=deployment.injected_elements,
+                           include_liveness=True)
+    assert violations == [], violations[:5]
