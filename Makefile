@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-pytest bench-smoke chaos-smoke list-scenarios clean
+.PHONY: test bench bench-pytest bench-smoke chaos-smoke byz-smoke list-scenarios clean
 
 test:
 	$(PYTHON) -m pytest -q
@@ -27,6 +27,17 @@ chaos-smoke:
 	$(PYTHON) -m repro sweep --contains chaos/smoke --jobs 4 --quiet --seed 7 --out results/chaos-j4
 	cmp results/chaos-j1/chaos__smoke.json results/chaos-j4/chaos__smoke.json
 	@echo "chaos/smoke byte-identical under --jobs 1 vs --jobs 4"
+
+# One adversarial scenario end to end: run it, render the resilience and
+# Byzantine-attribution reports, and prove the schedule is byte-identical
+# under serial vs parallel sweeps.
+byz-smoke:
+	$(PYTHON) -m repro run byz/smoke --json results/byz-smoke.json
+	$(PYTHON) -m repro report results/byz-smoke.json
+	$(PYTHON) -m repro sweep --contains byz/smoke --jobs 1 --quiet --seed 7 --out results/byz-j1
+	$(PYTHON) -m repro sweep --contains byz/smoke --jobs 4 --quiet --seed 7 --out results/byz-j4
+	cmp results/byz-j1/byz__smoke.json results/byz-j4/byz__smoke.json
+	@echo "byz/smoke byte-identical under --jobs 1 vs --jobs 4"
 
 list-scenarios:
 	$(PYTHON) -m repro list-scenarios

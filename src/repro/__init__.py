@@ -49,12 +49,14 @@ from .topology import (
 )
 from .core import (
     BaseSetchainServer,
+    ByzantineBehaviour,
     CompresschainServer,
     HashchainServer,
     SetchainClient,
     SetchainView,
     VanillaServer,
     build_deployment,
+    register_behaviour,
     run_experiment,
 )
 from .experiments.runner import ExperimentResult, run_scenario, scaled_config
@@ -94,6 +96,8 @@ __all__ = [
     "scenario_names",
     # core system
     "BaseSetchainServer",
+    "ByzantineBehaviour",
+    "register_behaviour",
     "VanillaServer",
     "CompresschainServer",
     "HashchainServer",

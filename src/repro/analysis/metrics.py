@@ -88,6 +88,11 @@ class MetricsCollector:
         self.region_committed: dict[str, int] = {}
         #: region -> earliest commit observation time in that region.
         self.region_first_commit: dict[str, float] = {}
+        #: Byzantine-attribution counters (withheld requests, bogus hashes,
+        #: invalid elements appended/refused, ...), aggregated over the run.
+        self.byzantine_counters: dict[str, int] = {}
+        #: The same counters broken down by server name.
+        self.byzantine_by_server: dict[str, dict[str, int]] = {}
 
     # -- regions ---------------------------------------------------------------
 
@@ -187,6 +192,14 @@ class MetricsCollector:
         self.batch_flushes.append(BatchFlushEvent(server=server, n_items=n_items,
                                                   appended_bytes=appended_bytes,
                                                   time=time))
+
+    def record_byzantine(self, server: str, counter: str) -> None:
+        """Attribute one Byzantine-related action (misbehaviour at a Byzantine
+        server, or a refusal of Byzantine garbage at a correct one)."""
+        self.byzantine_counters[counter] = (
+            self.byzantine_counters.get(counter, 0) + 1)
+        per_server = self.byzantine_by_server.setdefault(server, {})
+        per_server[counter] = per_server.get(counter, 0) + 1
 
     def record_hash_reversal(self, server: str, batch_hash: str, success: bool,
                              time: float) -> None:

@@ -33,6 +33,8 @@ from ..config import (
 )
 from ..errors import ConfigurationError, did_you_mean
 from ..faults.events import (
+    BecomeByzantine,
+    BecomeCorrect,
     Churn,
     Crash,
     DelaySpike,
@@ -355,6 +357,38 @@ class ScenarioBuilder:
             count = 1
         targets = self._fault_targets(nodes, region, role, count)
         return self.faults(Crash(at=at, until=until, targets=targets))
+
+    def become_byzantine(self, at: float, *nodes: str,
+                         behaviour: str = "silent",
+                         until: float | None = None,
+                         region: str | None = None,
+                         count: int | None = None) -> "ScenarioBuilder":
+        """Turn servers Byzantine at ``at`` (revert at ``until`` if given).
+
+        ``become_byzantine(10.0, "server-3", behaviour="withhold", until=30.0)``
+        makes one named server withhold ``Request_batch`` replies for 20 s;
+        ``become_byzantine(10.0, count=2)`` silences two random servers.  The
+        built-in behaviours are withhold / wrong-hash / invalid-element /
+        equivocate / silent (plus anything registered through
+        :func:`repro.core.byzantine.register_behaviour`).  Build-time
+        validation rejects schedules whose Byzantine + crashed servers could
+        reach the quorum of any algorithm group.
+        """
+        if not nodes and count is None and region is None:
+            count = 1
+        targets = self._fault_targets(nodes, region, "servers", count)
+        return self.faults(BecomeByzantine(at=at, until=until, targets=targets,
+                                           behaviour=behaviour))
+
+    def become_correct(self, at: float, *nodes: str,
+                       region: str | None = None) -> "ScenarioBuilder":
+        """Shed the targeted servers' Byzantine behaviours at ``at``.
+
+        Without ``nodes``/``region`` every Byzantine server reverts — the
+        Byzantine analogue of :meth:`faults`' global ``Heal``.
+        """
+        targets = self._fault_targets(nodes, region, "servers", None)
+        return self.faults(BecomeCorrect(at=at, targets=targets))
 
     def churn(self, at: float, until: float, period: float, count: int = 1,
               *, role: str = "servers",

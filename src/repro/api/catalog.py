@@ -15,6 +15,9 @@ Importing this module — done lazily by the registry on its first access, see
 * ``mixed/...`` — heterogeneous clusters (per-region algorithms, one ledger);
 * ``chaos/...`` — deterministic fault schedules (:mod:`repro.faults`):
   partitions, crash/recovery, churn, loss, duplication, delay spikes;
+* ``byz/...`` — Byzantine nemeses as schedule events: servers turning
+  Byzantine (withhold/wrong-hash/invalid-element/equivocate/silent) and back
+  mid-run, alone and mixed with crash/partition/loss timelines;
 * ``bench/...`` — the pinned ``bench-smoke`` set measured by :mod:`repro.bench`;
 * ``quickstart`` / ``smoke`` — small scenarios that finish in seconds.
 
@@ -503,6 +506,159 @@ def _register_chaos() -> None:
 
 
 _register_chaos()
+
+
+# -- byz: Byzantine nemeses as schedule events (repro.faults + core.byzantine) --
+# Servers turn Byzantine and back mid-run under the deterministic injector,
+# alone and mixed with crash/partition/loss nemeses.  Every schedule stays
+# within the f-budget (Byzantine + crashed servers < quorum at every instant
+# — enforced at build time), so Properties 1-8 keep holding at the
+# never-faulty servers.
+
+
+def _register_byz() -> None:
+    # single-behaviour windows, one per behaviour/algorithm pairing ----------
+    register_scenario(
+        "byz/withhold/one-hashchain",
+        tags=("byz", "byzantine", "faults", "hashchain"),
+        description="one named hashchain server withholds Request_batch "
+                    "replies from t=10 s to t=30 s, then serves its buffer",
+    )(lambda: Scenario.hashchain().rate(2_000)
+      .become_byzantine(10.0, "server-9", behaviour="withhold", until=30.0))
+    register_scenario(
+        "byz/withhold/f-max",
+        tags=("byz", "byzantine", "faults", "hashchain"),
+        description="f=4 of 10 hashchain servers withhold together for 40 s "
+                    "(the full Byzantine budget, exactly)",
+    )(lambda: Scenario.hashchain().rate(2_000)
+      .become_byzantine(5.0, count=4, behaviour="withhold", until=45.0))
+    register_scenario(
+        "byz/wrong-hash/one-hashchain",
+        tags=("byz", "byzantine", "faults", "hashchain"),
+        description="one random hashchain server appends unservable bogus "
+                    "hash-batches from t=10 s to t=40 s",
+    )(lambda: Scenario.hashchain().rate(2_000)
+      .become_byzantine(10.0, count=1, behaviour="wrong-hash", until=40.0))
+    register_scenario(
+        "byz/silent/one-vanilla",
+        tags=("byz", "byzantine", "faults", "vanilla"),
+        description="one vanilla server silently drops its clients' "
+                    "elements from t=10 s to t=30 s",
+    )(lambda: Scenario.vanilla().rate(2_000)
+      .become_byzantine(10.0, "server-9", behaviour="silent", until=30.0))
+    register_scenario(
+        "byz/silent/one-compresschain",
+        tags=("byz", "byzantine", "faults", "compresschain"),
+        description="one random compresschain server goes silent from "
+                    "t=10 s to t=30 s",
+    )(lambda: Scenario.compresschain().rate(2_000)
+      .become_byzantine(10.0, count=1, behaviour="silent", until=30.0))
+    register_scenario(
+        "byz/equivocate/one-vanilla",
+        tags=("byz", "byzantine", "faults", "vanilla"),
+        description="one vanilla server signs epoch-proofs over garbage "
+                    "hashes from t=10 s to t=35 s",
+    )(lambda: Scenario.vanilla().rate(2_000)
+      .become_byzantine(10.0, count=1, behaviour="equivocate", until=35.0))
+    register_scenario(
+        "byz/equivocate/one-hashchain",
+        tags=("byz", "byzantine", "faults", "hashchain"),
+        description="one hashchain server batches equivocating epoch-proofs "
+                    "from t=10 s to t=35 s",
+    )(lambda: Scenario.hashchain().rate(2_000)
+      .become_byzantine(10.0, count=1, behaviour="equivocate", until=35.0))
+    register_scenario(
+        "byz/invalid/flooder-vanilla",
+        tags=("byz", "byzantine", "faults", "vanilla"),
+        description="one vanilla server floods the ledger with invalid "
+                    "elements alongside normal traffic (t=10 s to t=30 s)",
+    )(lambda: Scenario.vanilla().rate(2_000)
+      .become_byzantine(10.0, count=1, behaviour="invalid-element",
+                        until=30.0))
+
+    # crash + partition + Byzantine in one timeline --------------------------
+    register_scenario(
+        "byz/combo/crash-and-withhold",
+        tags=("byz", "byzantine", "faults", "crash", "hashchain"),
+        description="a crash window (t=10-25 s) overlapping a withholding "
+                    "server (t=15-35 s): 2 of 10 faulty, within f=4",
+    )(lambda: Scenario.hashchain().rate(2_000)
+      .crash(10.0, until=25.0, count=1)
+      .become_byzantine(15.0, "server-0", behaviour="withhold", until=35.0))
+    register_scenario(
+        "byz/combo/partition-and-silent",
+        tags=("byz", "byzantine", "faults", "partition", "hashchain"),
+        description="a silent server (t=5-40 s) while a random 3-server "
+                    "minority is partitioned away (t=10-20 s)",
+    )(lambda: Scenario.hashchain().rate(2_000)
+      .become_byzantine(5.0, count=1, behaviour="silent", until=40.0)
+      .partition(10.0, until=20.0, count=3, role="servers"))
+    register_scenario(
+        "byz/combo/full-nemesis",
+        tags=("byz", "byzantine", "faults", "crash", "partition", "hashchain"),
+        description="withholding server (t=10-35 s) + minority partition "
+                    "(t=8-16 s) + crash (t=20-30 s) + 2% background loss",
+    )(lambda: Scenario.hashchain().rate(2_000)
+      .become_byzantine(10.0, "server-9", behaviour="withhold", until=35.0)
+      .partition(8.0, until=16.0, count=3, role="servers")
+      .crash(20.0, until=30.0, count=1)
+      .loss(0.02))
+
+    # turning back: BecomeCorrect and serial behaviours ----------------------
+    register_scenario(
+        "byz/flip/withhold-recover",
+        tags=("byz", "byzantine", "faults", "recovery", "hashchain"),
+        description="a 4-server hashchain cluster where server-3 withholds "
+                    "from t=8 s and reverts at t=20 s, replaying its "
+                    "buffered Request_batch replies",
+    )(lambda: Scenario.hashchain().servers(4).rate(1_000).collector(50)
+      .become_byzantine(8.0, "server-3", behaviour="withhold", until=20.0))
+    register_scenario(
+        "byz/flip/serial-behaviours",
+        tags=("byz", "byzantine", "faults", "hashchain"),
+        description="the same server withholds (t=5-15 s) and later "
+                    "equivocates (t=20-30 s) — two behaviours, one run",
+    )(lambda: Scenario.hashchain().rate(2_000)
+      .become_byzantine(5.0, "server-9", behaviour="withhold", until=15.0)
+      .become_byzantine(20.0, "server-9", behaviour="equivocate", until=30.0))
+    register_scenario(
+        "byz/random/rotation",
+        tags=("byz", "byzantine", "faults", "hashchain"),
+        description="two random servers go silent (t=10-25 s), then two "
+                    "random servers withhold (t=30-45 s)",
+    )(lambda: Scenario.hashchain().rate(2_000)
+      .become_byzantine(10.0, count=2, behaviour="silent", until=25.0)
+      .become_byzantine(30.0, count=2, behaviour="withhold", until=45.0))
+
+    # small, fast (CI / golden) ----------------------------------------------
+    register_scenario(
+        "byz/smoke",
+        tags=("byz", "byzantine", "faults", "ci"),
+        description="small 4-server hashchain over the ideal ledger: a "
+                    "withhold window then a crash window; ~seconds",
+    )(lambda: Scenario.hashchain().servers(4).rate(200).collector(20)
+      .inject_for(5).drain(60).backend("ideal")
+      .become_byzantine(1.0, "server-3", behaviour="withhold", until=2.5)
+      .crash(3.0, "server-2", until=4.0))
+    register_scenario(
+        "byz/golden/vanilla-silent",
+        tags=("byz", "byzantine", "faults", "vanilla", "ci"),
+        description="small 4-server vanilla over the ideal ledger with a "
+                    "silent window; ~seconds (golden artifact)",
+    )(lambda: Scenario.vanilla().servers(4).rate(200)
+      .inject_for(5).drain(40).backend("ideal")
+      .become_byzantine(1.0, "server-3", behaviour="silent", until=3.0))
+    register_scenario(
+        "byz/golden/compresschain-equivocate",
+        tags=("byz", "byzantine", "faults", "compresschain", "ci"),
+        description="small 4-server compresschain over the ideal ledger "
+                    "with an equivocation window; ~seconds (golden artifact)",
+    )(lambda: Scenario.compresschain().servers(4).rate(200).collector(20)
+      .inject_for(5).drain(40).backend("ideal")
+      .become_byzantine(1.0, "server-3", behaviour="equivocate", until=3.0))
+
+
+_register_byz()
 
 
 # -- small, fast scenarios ----------------------------------------------------

@@ -228,6 +228,29 @@ def _cmd_report(args: argparse.Namespace) -> int:
             ["scenario", "faults", "dropped", "duplicated", "lost adds",
              "min avail", "recovery (s)"],
             fault_rows, title="resilience (fault-injected runs)"))
+    adversarial = [r for r in results if r.faults and r.faults.get("byzantine")]
+    if adversarial:
+        byz_rows = []
+        for result in adversarial:
+            assert result.faults is not None
+            block = result.faults["byzantine"]
+            counters = block.get("counters", {})
+            byz_rows.append([
+                result.label,
+                len(block.get("servers", [])),
+                counters.get("withheld_requests", 0),
+                counters.get("bogus_hash_batches", 0),
+                counters.get("invalid_elements_appended", 0),
+                counters.get("invalid_elements_refused", 0),
+                counters.get("equivocating_proofs", 0),
+                counters.get("suppressed_elements", 0),
+            ])
+        print()
+        print(render_table(
+            ["scenario", "byz servers", "withheld", "bogus hashes",
+             "invalid appended", "invalid refused", "equivocations",
+             "suppressed"],
+            byz_rows, title="byzantine attribution (adversarial runs)"))
     return 0
 
 

@@ -179,6 +179,30 @@ class Session:
         self.deployment.network.heal()
         return self
 
+    def become_byzantine(self, name: str,
+                         behaviour: str = "silent") -> "Session":
+        """Attach a Byzantine behaviour strategy to a server, mid-run.
+
+        ``behaviour`` is a registered name (withhold / wrong-hash /
+        invalid-element / equivocate / silent, or third-party).  Only
+        Setchain servers can turn Byzantine.
+        """
+        self._require_started()
+        self.deployment.become_byzantine(name, behaviour)
+        return self
+
+    def become_correct(self, name: str) -> "Session":
+        """Shed a server's Byzantine behaviour (a withholding server serves
+        its buffered ``Request_batch`` replies on reversion)."""
+        self._require_started()
+        self.deployment.become_correct(name)
+        return self
+
+    def byzantine_nodes(self) -> list[str]:
+        """Names of currently Byzantine servers, sorted."""
+        return sorted(server.name for server in self.deployment.servers
+                      if server.is_byzantine)
+
     def crashed_nodes(self) -> list[str]:
         """Names of currently crash-faulted nodes, sorted."""
         network = self.deployment.network

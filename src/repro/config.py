@@ -12,7 +12,10 @@ from dataclasses import dataclass, field, replace
 from typing import Sequence
 
 from .errors import ConfigurationError
-from .faults.schedule import FaultScheduleConfig  # noqa: F401  (re-export)
+from .faults.schedule import (  # noqa: F401  (FaultScheduleConfig re-exported)
+    FaultScheduleConfig,
+    validate_fault_budget,
+)
 from .topology.regions import RegionSpec, TopologyConfig  # noqa: F401  (re-export)
 
 # -- Paper constants (Section 4, "Experiment Scenarios") ---------------------
@@ -227,6 +230,14 @@ class ExperimentConfig:
                         f"region {region.name!r} uses unknown algorithm "
                         f"{region.algorithm!r}; registered algorithms are "
                         f"{tuple(plugins.algorithm_names())}")
+        if self.faults is not None and self.faults.events:
+            # Schedules that turn servers Byzantine must stay within the
+            # declared tolerance at every instant — this is also where a
+            # static `.byzantine(f=...)` and scheduled `BecomeByzantine`
+            # events are checked against each other (the f the scenario
+            # claims to tolerate bounds what the schedule may inject).
+            validate_fault_budget(self.faults, self.setchain,
+                                  self.server_assignments())
 
     @property
     def total_duration(self) -> float:

@@ -31,12 +31,23 @@ from .vanilla import VanillaServer
 from .compresschain import CompresschainServer
 from .hashchain import HashchainServer
 from .byzantine import (
+    ByzantineBehaviour,
+    EquivocateBehaviour,
+    InvalidElementBehaviour,
+    SilentBehaviour,
+    WithholdBehaviour,
+    WrongHashBehaviour,
     WithholdingHashchainServer,
     WrongHashHashchainServer,
     InvalidElementVanillaServer,
     EquivocatingProofServer,
     SilentServer,
+    behaviour_names,
+    get_behaviour,
+    has_behaviour,
     make_invalid_element,
+    register_behaviour,
+    unregister_behaviour,
 )
 from .client import SetchainClient, CommitCheck
 from .properties import check_all
@@ -65,12 +76,23 @@ __all__ = [
     "VanillaServer",
     "CompresschainServer",
     "HashchainServer",
+    "ByzantineBehaviour",
+    "EquivocateBehaviour",
+    "InvalidElementBehaviour",
+    "SilentBehaviour",
+    "WithholdBehaviour",
+    "WrongHashBehaviour",
     "WithholdingHashchainServer",
     "WrongHashHashchainServer",
     "InvalidElementVanillaServer",
     "EquivocatingProofServer",
     "SilentServer",
+    "behaviour_names",
+    "get_behaviour",
+    "has_behaviour",
     "make_invalid_element",
+    "register_behaviour",
+    "unregister_behaviour",
     "SetchainClient",
     "CommitCheck",
     "check_all",

@@ -34,6 +34,7 @@ from .validation import valid_element
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..analysis.metrics import MetricsCollector
+    from .byzantine import ByzantineBehaviour
 
 
 class BaseSetchainServer(NetworkNode, Application):
@@ -93,6 +94,23 @@ class BaseSetchainServer(NetworkNode, Application):
         self.blocks_processed = 0
         #: Client adds refused because the server was crash-faulted.
         self.crashed_rejects = 0
+        #: Active Byzantine behaviour strategy; ``None`` means correct.  The
+        #: hot paths only pay an attribute check, so fault-free runs are
+        #: untouched (goldens stay byte-identical).
+        self._byz: "ByzantineBehaviour | None" = None
+        #: Whether this server *ever* ran a Byzantine behaviour.  A reverted
+        #: server is still a faulty process in the paper's model (it may hold
+        #: silently dropped elements in its the_set forever), so property
+        #: checks exclude it for the rest of the run.
+        self.ever_byzantine = False
+        #: Per-behaviour attribution counters (withheld requests, bogus
+        #: hashes, ...), mirrored into the metrics collector for the
+        #: resilience report.
+        self.byzantine_counters: dict[str, int] = {}
+        #: Request_batch messages a withholding behaviour buffered and could
+        #: not serve at detach time because the server was crash-faulted;
+        #: replayed by :meth:`_on_recover`.
+        self._deferred_request_replays: list = []
 
     # -- wiring ----------------------------------------------------------------
 
@@ -111,6 +129,58 @@ class BaseSetchainServer(NetworkNode, Application):
 
     def start(self) -> None:
         """Hook for subclasses that need startup work (default: none)."""
+
+    # -- Byzantine behaviour strategies -------------------------------------------
+
+    @property
+    def is_byzantine(self) -> bool:
+        """Whether a Byzantine behaviour strategy is currently attached."""
+        return self._byz is not None
+
+    @property
+    def byzantine_behaviour(self) -> str | None:
+        """Registry name of the active behaviour (``None`` when correct)."""
+        return self._byz.name if self._byz is not None else None
+
+    def become_byzantine(self, behaviour: "ByzantineBehaviour | str") -> None:
+        """Adopt a Byzantine behaviour strategy, mid-run or at construction.
+
+        ``behaviour`` is an instance or a registered name (a fresh instance is
+        created — behaviour state is private to one server).  Switching
+        behaviours detaches the previous one first, running its detach
+        side effects (e.g. ``withhold`` serving its buffered requests).
+        """
+        from .byzantine import resolve_behaviour
+        resolved = resolve_behaviour(behaviour)
+        if self._byz is not None:
+            self.become_correct()
+        self._byz = resolved
+        self.ever_byzantine = True
+        resolved.on_attach(self)
+
+    def become_correct(self) -> None:
+        """Shed the active Byzantine behaviour (idempotent).
+
+        The behaviour's ``on_detach`` runs first — this is where ``withhold``
+        answers its buffered ``Request_batch`` messages so consolidation of
+        the withheld hashes resumes.
+        """
+        behaviour, self._byz = self._byz, None
+        if behaviour is not None:
+            behaviour.on_detach(self)
+
+    def _count_byzantine(self, counter: str) -> None:
+        """Attribute one Byzantine action to this server (and the metrics)."""
+        self.byzantine_counters[counter] = (
+            self.byzantine_counters.get(counter, 0) + 1)
+        if self.metrics is not None:
+            self.metrics.record_byzantine(self.name, counter)
+
+    def _byz_outgoing_proof(self, proof: EpochProof) -> EpochProof | None:
+        """Filter an epoch-proof this server is about to publish."""
+        if self._byz is None:
+            return proof
+        return self._byz.outgoing_proof(self, proof)
 
     def algorithm_group(self) -> str:
         """Interoperability group key for heterogeneous deployments.
@@ -145,7 +215,9 @@ class BaseSetchainServer(NetworkNode, Application):
         self._the_set[element.element_id] = element
         if self.metrics is not None:
             self.metrics.record_added(element, self.name, self.sim.now)
-        self._after_add(element)
+        byz = self._byz
+        if byz is None or not byz.on_after_add(self, element):
+            self._after_add(element)
         return True
 
     def get(self) -> SetchainView:
@@ -284,7 +356,9 @@ class BaseSetchainServer(NetworkNode, Application):
             assert tx is not None
             self._handle_tx(block, tx)
         else:
-            self._handle_block_end(block)
+            byz = self._byz
+            if byz is None or not byz.on_block_end(self, block):
+                self._handle_block_end(block)
             self._finish_after(0.0)
 
     def _finish_after(self, duration: float) -> None:
@@ -336,6 +410,17 @@ class BaseSetchainServer(NetworkNode, Application):
         missed, self._missed_blocks = self._missed_blocks, []
         for block in missed:
             self.finalize_block(block)
+        if self._deferred_request_replays:
+            # Request_batch replies a withholding behaviour owed at detach
+            # time while this server was down: serve them now.  Dispatching
+            # through the handler keeps the semantics exact — if a *new*
+            # behaviour intercepts Request_batch, it sees these too.
+            deferred, self._deferred_request_replays = (
+                self._deferred_request_replays, [])
+            handler = self._handlers.get("request_batch")
+            if handler is not None:
+                for message in deferred:
+                    handler(message)
 
     # -- hooks implemented by the concrete algorithms --------------------------------
 

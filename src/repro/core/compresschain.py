@@ -58,6 +58,9 @@ class CompresschainServer(BaseSetchainServer):
     # -- collector flush (lines 12-17) -----------------------------------------------
 
     def _flush_batch(self, batch: Sequence[object]) -> None:
+        byz = self._byz
+        if byz is not None and byz.on_flush_batch(self, tuple(batch)):
+            return
         original_size = sum(getattr(item, "size_bytes", 0) for item in batch)
         compressed = self.compressor.compress(batch, original_size)
         tx = self._append_to_ledger(compressed, compressed.compressed_size)
@@ -102,8 +105,10 @@ class CompresschainServer(BaseSetchainServer):
         # otherwise the tail of a run would generate epochs, hence proofs,
         # hence batches, forever.
         if new_epoch:
-            proof = self._record_new_epoch(set(new_epoch.values()), block)
-            self.add_to_batch(proof)
+            proof = self._byz_outgoing_proof(
+                self._record_new_epoch(set(new_epoch.values()), block))
+            if proof is not None:
+                self.add_to_batch(proof)
         self._finish_after(duration)
 
     # -- crash faults ------------------------------------------------------------

@@ -101,6 +101,14 @@ class Deployment:
         """get() snapshots of every (assumed-correct) server."""
         return {server.name: server.get() for server in self.servers}
 
+    def byzantine_servers(self) -> set[str]:
+        """Servers outside the paper's guarantees: every server that ever ran
+        a Byzantine behaviour — scheduled or interactive — whether or not it
+        has reverted (a reverted server is still a faulty process; it may
+        e.g. hold silently dropped elements in its the_set forever)."""
+        return {server.name for server in self.servers
+                if server.ever_byzantine}
+
     def algorithm_groups(self) -> dict[str, str]:
         """Server name -> algorithm-group key for heterogeneous clusters.
 
@@ -118,11 +126,16 @@ class Deployment:
         The quorum is always computed over the *full* server set
         (``config.setchain.quorum``).  For heterogeneous deployments the
         cross-server properties (Get-Global, Consistent-Gets) are checked
-        within each algorithm group — see :meth:`algorithm_groups`.
+        within each algorithm group — see :meth:`algorithm_groups`.  Servers
+        that are (or ever were) Byzantine are excluded: Properties 1-8 are
+        claimed for correct servers only.
         """
         groups = (self.algorithm_groups()
                   if self.config.is_heterogeneous else None)
-        return check_all(self.views(), quorum=self.config.setchain.quorum,
+        faulty = self.byzantine_servers()
+        views = {name: view for name, view in self.views().items()
+                 if name not in faulty}
+        return check_all(views, quorum=self.config.setchain.quorum,
                          all_added=self.injected_elements,
                          include_liveness=include_liveness, groups=groups)
 
@@ -173,6 +186,35 @@ class Deployment:
             recover(name)
         else:
             node.recover()
+
+    # -- Byzantine behaviours ---------------------------------------------------
+
+    def _server_named(self, name: str) -> BaseSetchainServer:
+        for server in self.servers:
+            if server.name == name:
+                return server
+        raise NetworkError(
+            f"no Setchain server named {name!r} in this deployment "
+            "(only servers can turn Byzantine)")
+
+    def node_byzantine(self, name: str) -> bool:
+        """Whether the named server currently runs a Byzantine behaviour.
+
+        ``False`` for non-server nodes: the consensus layer models its own
+        fault threshold.
+        """
+        for server in self.servers:
+            if server.name == name:
+                return server.is_byzantine
+        return False
+
+    def become_byzantine(self, name: str, behaviour: str = "silent") -> None:
+        """Attach a Byzantine behaviour strategy to a server, mid-run."""
+        self._server_named(name).become_byzantine(behaviour)
+
+    def become_correct(self, name: str) -> None:
+        """Shed a server's Byzantine behaviour (idempotent)."""
+        self._server_named(name).become_correct()
 
 
 def build_latency(config: ExperimentConfig) -> LatencyModel:

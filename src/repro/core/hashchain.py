@@ -121,6 +121,9 @@ class HashchainServer(BaseSetchainServer):
     # -- collector flush (lines 12-21) --------------------------------------------------
 
     def _flush_batch(self, batch: Sequence[object]) -> None:
+        byz = self._byz
+        if byz is not None and byz.on_flush_batch(self, tuple(batch)):
+            return
         items = tuple(batch)
         digest = hash_batch(items)
         # Lines 15-16: remember and register the batch so peers can request it.
@@ -144,6 +147,9 @@ class HashchainServer(BaseSetchainServer):
 
     def _on_request_batch(self, message: Message) -> None:
         """Serve a peer's Request_batch from the local store."""
+        byz = self._byz
+        if byz is not None and byz.on_request_batch(self, message):
+            return
         requested_hash: str = message.payload
         items = self.store.serve(requested_hash)
         size = sum(getattr(item, "size_bytes", 0) for item in items) if items else _REQUEST_SIZE
@@ -380,8 +386,10 @@ class HashchainServer(BaseSetchainServer):
                     self._add_to_the_set(element)
                     fresh[element.element_id] = element
             if fresh:
-                proof = self._record_new_epoch(set(fresh.values()), block)
-                self.add_to_batch(proof)
+                proof = self._byz_outgoing_proof(
+                    self._record_new_epoch(set(fresh.values()), block))
+                if proof is not None:
+                    self.add_to_batch(proof)
 
     # -- crash faults ------------------------------------------------------------
 

@@ -51,7 +51,12 @@ class VanillaServer(BaseSetchainServer):
             self._absorb_proofs([payload])
         elif isinstance(payload, Element):
             duration += self.config.element_validation_time
-            if (valid_element(payload) and not self._known_in_history(payload)
+            if not valid_element(payload):
+                # A Byzantine server appended an invalid element; refuse it.
+                if self.metrics is not None:
+                    self.metrics.record_byzantine(self.name,
+                                                  "invalid_elements_refused")
+            elif (not self._known_in_history(payload)
                     and payload.element_id not in self._block_elements):
                 self._block_elements[payload.element_id] = payload
                 if self.metrics is not None:
@@ -67,8 +72,9 @@ class VanillaServer(BaseSetchainServer):
         self._block_elements = {}
         for element in new_epoch:
             self._add_to_the_set(element)
-        proof = self._record_new_epoch(new_epoch, block)
-        self._append_to_ledger(proof, EPOCH_PROOF_SIZE)
+        proof = self._byz_outgoing_proof(self._record_new_epoch(new_epoch, block))
+        if proof is not None:
+            self._append_to_ledger(proof, EPOCH_PROOF_SIZE)
 
     # -- crash faults ------------------------------------------------------------
 

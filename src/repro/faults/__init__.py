@@ -5,7 +5,8 @@ The :mod:`repro.faults` package turns the network's raw test hooks
 
 * :mod:`repro.faults.events` — the typed fault-event DSL (``Partition``,
   ``Heal``, ``Crash``, ``Recover``, ``MessageLoss``, ``Duplicate``,
-  ``DelaySpike``, ``Churn``) with :class:`Targets` selectors;
+  ``DelaySpike``, ``Churn``, and the Byzantine nemeses ``BecomeByzantine``/
+  ``BecomeCorrect``) with :class:`Targets` selectors;
 * :class:`FaultScheduleConfig` — the frozen, serialisable timeline carried by
   :class:`~repro.config.ExperimentConfig`;
 * :class:`FaultInjector` — executes a schedule from simulator timers and
@@ -27,6 +28,8 @@ Build schedules through the scenario builder
 from __future__ import annotations
 
 from .events import (
+    BecomeByzantine,
+    BecomeCorrect,
     Churn,
     Crash,
     DelaySpike,
@@ -40,9 +43,15 @@ from .events import (
 )
 from .injector import FaultContext, FaultInjector
 from .plugins import fault_names, get_fault, has_fault, register_fault, unregister_fault
-from .schedule import DEFAULT_AVAILABILITY_WINDOW, FaultScheduleConfig
+from .schedule import (
+    DEFAULT_AVAILABILITY_WINDOW,
+    FaultScheduleConfig,
+    validate_fault_budget,
+)
 
 __all__ = [
+    "BecomeByzantine",
+    "BecomeCorrect",
     "Churn",
     "Crash",
     "DelaySpike",
@@ -62,4 +71,5 @@ __all__ = [
     "has_fault",
     "register_fault",
     "unregister_fault",
+    "validate_fault_budget",
 ]

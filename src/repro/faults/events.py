@@ -23,6 +23,16 @@ The eight built-in kinds follow the Jepsen nemesis vocabulary:
 ``churn``       every ``period``: recover the previous victims, crash a fresh
                 random ``count`` — rolling restarts / validator churn
 =============== ================================================================
+
+Two further kinds turn the :mod:`repro.core.byzantine` behaviour strategies
+into nemeses, so chaos timelines mix crash and Byzantine faults:
+
+=================== ============================================================
+``become-byzantine`` attach a named behaviour (withhold / wrong-hash /
+                     invalid-element / equivocate / silent) to the targeted
+                     servers, reverting at ``until`` when set
+``become-correct``   explicitly shed the targeted servers' behaviours
+=================== ============================================================
 """
 
 from __future__ import annotations
@@ -380,6 +390,83 @@ class DelaySpike(FaultEvent):
         if self.until is not None:
             ctx.sim.call_at(self.until,
                             lambda: ctx.network.remove_delay_rule(rule))
+
+
+@register_fault("become-byzantine")
+@dataclass(frozen=True, kw_only=True)
+class BecomeByzantine(FaultEvent):
+    """Turn the targeted servers Byzantine with ``behaviour`` at ``at``.
+
+    With ``until`` set the servers revert to correct automatically (the
+    Byzantine window analogue of ``Crash``'s auto-recover); otherwise they
+    stay Byzantine until a :class:`BecomeCorrect` event — or the end of the
+    run.  Only Setchain servers can turn Byzantine: the consensus layer
+    models its own fault threshold, so ``role="validators"`` is rejected and
+    non-server targets resolved through ``role="all"`` are skipped.
+
+    Schedules containing this kind are validated against the f-budget at
+    config time: at no instant may Byzantine plus crashed servers reach the
+    quorum (``f + 1``) of any algorithm group — see
+    :func:`repro.faults.schedule.validate_fault_budget`.
+    """
+
+    _target_fields: ClassVar[tuple[str, ...]] = ("targets",)
+
+    targets: Targets = Targets(role="servers", count=1)
+    behaviour: str = "silent"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.targets.role == "validators":
+            raise ConfigurationError(
+                "Byzantine behaviours apply to Setchain servers; the "
+                "consensus layer models its own fault threshold "
+                "(use role='servers')")
+        # Imported lazily: core.byzantine transitively imports repro.config,
+        # which imports this module at load time.
+        from ..core.byzantine import behaviour_names, has_behaviour
+        if not has_behaviour(self.behaviour):
+            raise ConfigurationError(
+                f"unknown Byzantine behaviour {self.behaviour!r}"
+                + did_you_mean(self.behaviour, behaviour_names()))
+
+    def apply(self, ctx: "FaultContext") -> None:
+        names = [name for name in ctx.correct(ctx.resolve(self.targets))
+                 if ctx.is_server(name)]
+        if not names:
+            # Every target is already Byzantine (owned by another event) or
+            # not a Setchain server: nothing turned, nothing to revert.
+            ctx.record(self.kind, note="no eligible targets; skipped")
+            return
+        token = ctx.claim_byzantine(names, self.behaviour)
+        ctx.record(self.kind, targets=names, until=self.until,
+                   note=f"behaviour={self.behaviour}",
+                   open_ended=self.until is None)
+        if self.until is not None:
+            ctx.sim.call_at(self.until,
+                            lambda: ctx.release_byzantine(names, token))
+
+
+@register_fault("become-correct")
+@dataclass(frozen=True, kw_only=True)
+class BecomeCorrect(FaultEvent):
+    """Shed the targeted servers' Byzantine behaviours (no-op when correct).
+
+    Detaching runs the behaviour's clean-up side effects — a ``withhold``
+    server answers its buffered ``Request_batch`` messages, so consolidation
+    of the withheld hashes resumes.
+    """
+
+    _target_fields: ClassVar[tuple[str, ...]] = ("targets",)
+
+    targets: Targets = Targets(role="servers")
+
+    def apply(self, ctx: "FaultContext") -> None:
+        names = [name for name in ctx.resolve(self.targets)
+                 if ctx.is_server(name)]
+        for name in names:
+            ctx.force_correct(name)
+        ctx.record(self.kind, targets=names)
 
 
 @register_fault("churn")

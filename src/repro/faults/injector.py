@@ -46,6 +46,8 @@ class FaultContext:
         self._injector = injector
         #: node name -> claim token of the crash event that owns it.
         self._crash_claims: dict[str, int] = {}
+        #: server name -> claim token of the Byzantine event that owns it.
+        self._byz_claims: dict[str, int] = {}
         self._claim_counter = 0
         #: normalised cut -> reference count (overlapping Partition events
         #: share Network's idempotent cut; the last release heals it).
@@ -163,6 +165,47 @@ class FaultContext:
         self._crash_claims.pop(name, None)
         self.recover_node(name)
 
+    # -- Byzantine behaviour dispatch ---------------------------------------------
+
+    def is_server(self, name: str) -> bool:
+        """Whether ``name`` is a Setchain server (Byzantine-capable)."""
+        return any(server.name == name for server in self.deployment.servers)
+
+    def is_byzantine(self, name: str) -> bool:
+        return self.deployment.node_byzantine(name)
+
+    def correct(self, names: list[str]) -> list[str]:
+        """Filter out servers that are already Byzantine.
+
+        Byzantine-type events claim only the servers *they* turned, mirroring
+        the crash-claim discipline: overlapping schedules never revert another
+        event's server ahead of its window.
+        """
+        return [name for name in names if not self.is_byzantine(name)]
+
+    def claim_byzantine(self, names: list[str], behaviour: str) -> int:
+        """Turn ``names`` Byzantine under a fresh ownership token."""
+        self._claim_counter += 1
+        token = self._claim_counter
+        for name in names:
+            self.deployment.become_byzantine(name, behaviour)
+            self._byz_claims[name] = token
+        self._injector.note_byzantine(names)
+        return token
+
+    def release_byzantine(self, names: list[str], token: int) -> None:
+        """Revert the servers in ``names`` still owned by ``token``."""
+        for name in names:
+            if self._byz_claims.get(name) == token:
+                del self._byz_claims[name]
+                self.deployment.become_correct(name)
+
+    def force_correct(self, name: str) -> None:
+        """Explicit reversion (the ``BecomeCorrect`` event): clears ownership."""
+        self._byz_claims.pop(name, None)
+        if self.is_server(name):
+            self.deployment.become_correct(name)
+
     # -- partition ownership -----------------------------------------------------
 
     @staticmethod
@@ -227,7 +270,20 @@ class FaultInjector:
         #: open-ended (until the end of the run).  Instantaneous entries
         #: (heal, recover) appear in :attr:`applied` but not here.
         self._windows: list[tuple[float, float | None]] = []
+        #: Servers a Byzantine event actually turned.  Gates the ``byzantine``
+        #: block of the report: crash-only and fault-free schedules stay
+        #: byte-identical to the pre-Byzantine artifact schema.
+        self._byzantine_servers: set[str] = set()
         self._armed = False
+
+    def note_byzantine(self, names: list[str]) -> None:
+        """Record that a Byzantine event turned ``names``."""
+        self._byzantine_servers.update(names)
+
+    @property
+    def byzantine_servers(self) -> set[str]:
+        """Every server a Byzantine event turned so far (ever, not currently)."""
+        return set(self._byzantine_servers)
 
     def arm(self) -> None:
         """Schedule every event's ``apply`` at its ``at`` time.  Idempotent."""
@@ -312,7 +368,7 @@ class FaultInjector:
                 "recovery_s": None if first is None else first - end,
             })
 
-        return {
+        report = {
             "schedule_events": len(self.schedule.events),
             "events": [dict(entry) for entry in self.applied],
             "messages_dropped": network.messages_dropped,
@@ -325,3 +381,15 @@ class FaultInjector:
                                  "fault_free": mean(outside)},
             "recovery": recovery,
         }
+        if self._byzantine_servers:
+            # Only schedules that actually turned a server Byzantine grow
+            # this block, so crash-only artifacts keep the PR 4 schema.
+            report["byzantine"] = {
+                "servers": sorted(self._byzantine_servers),
+                "counters": dict(sorted(metrics.byzantine_counters.items())),
+                "by_server": {
+                    name: dict(sorted(counters.items()))
+                    for name, counters
+                    in sorted(metrics.byzantine_by_server.items())},
+            }
+        return report

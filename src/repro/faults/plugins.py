@@ -48,8 +48,11 @@ def register_fault(name: str, *, replace: bool = False):
     ``ExperimentConfig`` echoes round-trip through the registry.
     """
     def decorator(event_cls: "type[FaultEvent]") -> "type[FaultEvent]":
-        event_cls.kind = name
-        return _FAULTS.register(name, event_cls, replace=replace)
+        # Register first: a rejected registration (duplicate, empty name)
+        # must not have mutated the class's wire kind.
+        registered = _FAULTS.register(name, event_cls, replace=replace)
+        registered.kind = name
+        return registered
     return decorator
 
 

@@ -12,12 +12,23 @@ byte-identical to pre-faults schemas.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import Any, Iterable, Mapping
+from typing import TYPE_CHECKING, Any, Iterable, Mapping, Sequence
 
 from ..errors import ConfigurationError
-from .events import FaultEvent
+from .events import (
+    BecomeByzantine,
+    BecomeCorrect,
+    Churn,
+    Crash,
+    FaultEvent,
+    Targets,
+)
 from .plugins import get_fault
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..config import SetchainConfig
 
 #: Default availability-window width (simulated seconds).
 DEFAULT_AVAILABILITY_WINDOW = 5.0
@@ -82,3 +93,155 @@ class FaultScheduleConfig:
                    availability_window=float(
                        data.get("availability_window",
                                 DEFAULT_AVAILABILITY_WINDOW)))
+
+
+# -- static f-budget validation -------------------------------------------------
+#
+# Enforced only for schedules that turn servers Byzantine: the paper's
+# guarantees assume at most ``f`` faulty (Byzantine or crashed) servers, so a
+# schedule whose worst case reaches the quorum (f + 1) can never honour
+# Properties 1-8 and is rejected at config time.  The analysis is a
+# conservative static over-approximation — random ``count`` selectors are
+# charged their full count against every group they could hit, ``Recover``
+# events are ignored, and overlapping events targeting the same node are
+# summed as if they hit distinct nodes.  Crash-only schedules (e.g. the
+# deliberate beyond-f chaos scenarios) are exempt: exceeding the budget with
+# crashes alone voids liveness only until recovery, which is a legitimate
+# experiment, whereas a Byzantine majority silently voids safety.
+
+
+def _server_index(name: str) -> int | None:
+    """Parse the deployment's ``server-<i>`` naming; None for other nodes."""
+    prefix, _, suffix = name.partition("-")
+    if prefix == "server" and suffix.isdigit():
+        return int(suffix)
+    return None
+
+
+def _pool_cost(targets: Targets, pool: "set[int]",
+               region_of: "dict[int, str | None]",
+               count_override: int | None = None) -> int:
+    """Worst-case number of servers in ``pool`` a selector can hit at once.
+
+    Mirrors ``FaultContext.resolve`` precedence exactly: explicit ``nodes``
+    win outright (region and role are ignored at apply time), so they must
+    be counted before any narrowing here — filtering named nodes by region
+    first would under-count selectors like ``nodes + region`` and wave a
+    Byzantine majority through.
+    """
+    if targets.nodes:
+        hits = {_server_index(name) for name in targets.nodes}
+        return len(hits & pool)
+    if targets.region is not None:
+        pool = {index for index in pool
+                if region_of.get(index) == targets.region}
+    if targets.role == "validators":
+        return 0  # validator faults do not consume the Setchain budget
+    count = count_override if count_override is not None else targets.count
+    if count is None:
+        return len(pool)
+    return min(count, len(pool))
+
+
+def _byzantine_end(event: BecomeByzantine, index: int,
+                   events: "Sequence[FaultEvent]") -> float:
+    """When an open-ended BecomeByzantine is statically known to revert."""
+    if event.until is not None:
+        return event.until
+    nodes = set(event.targets.nodes)
+    for later in events[index + 1:]:
+        if not isinstance(later, BecomeCorrect) or later.at < event.at:
+            continue
+        targets = later.targets
+        blanket = (not targets.nodes and targets.count is None
+                   and targets.region is None and targets.role == "servers")
+        if blanket or (nodes and nodes <= set(targets.nodes)):
+            return later.at
+    return math.inf
+
+
+def validate_fault_budget(schedule: "FaultScheduleConfig",
+                          setchain: "SetchainConfig",
+                          assignments: "Sequence[tuple[str | None, str]]") -> None:
+    """Reject schedules whose Byzantine + crashed servers can reach the quorum.
+
+    ``assignments`` is ``ExperimentConfig.server_assignments()`` — per-server
+    ``(region, algorithm)`` — so the check is applied per algorithm group
+    (each group is its own Setchain instance over the shared ledger) as well
+    as globally against the declared tolerance ``f``.  Only schedules
+    containing a :class:`~repro.faults.events.BecomeByzantine` event are
+    validated; see the module comment for the (conservative) approximations.
+    """
+    events = schedule.events
+    if not any(isinstance(event, BecomeByzantine) for event in events):
+        return
+    region_of: dict[int, str | None] = {
+        index: region for index, (region, _algorithm) in enumerate(assignments)}
+    groups: dict[str, set[int]] = {}
+    for index, (_region, algorithm) in enumerate(assignments):
+        groups.setdefault(algorithm, set()).add(index)
+    all_servers = set(region_of)
+
+    # (start, end, kind, per-scope cost) intervals; scope "all" plus one per group.
+    intervals: list[tuple[float, float, str, dict[str, int]]] = []
+    for index, event in enumerate(events):
+        if isinstance(event, Crash):
+            start, end = event.at, (math.inf if event.until is None
+                                    else event.until)
+            targets, count_override = event.targets, None
+        elif isinstance(event, Churn):
+            start, end = event.at, event.until if event.until is not None else math.inf
+            targets, count_override = event.targets, event.count
+        elif isinstance(event, BecomeByzantine):
+            start = event.at
+            end = _byzantine_end(event, index, events)
+            targets, count_override = event.targets, None
+        else:
+            continue
+        costs = {"all": _pool_cost(targets, all_servers, region_of,
+                                   count_override)}
+        for group, members in groups.items():
+            costs[group] = _pool_cost(targets, members, region_of,
+                                      count_override)
+        kind = "byzantine" if isinstance(event, BecomeByzantine) else "crashed"
+        intervals.append((start, end, kind, costs))
+
+    quorum = setchain.quorum
+    f = setchain.max_faulty
+    for instant in sorted({start for start, _end, _kind, _costs in intervals}):
+        active = [entry for entry in intervals
+                  if entry[0] <= instant < entry[1]]
+        by_kind = {"byzantine": 0, "crashed": 0}
+        for _start, _end, kind, costs in active:
+            by_kind[kind] += costs["all"]
+        if not by_kind["byzantine"]:
+            # Crash-only instant: the crash-only exemption applies even
+            # inside a schedule that turns servers Byzantine elsewhere —
+            # crashes beyond f void liveness only until recovery, and no
+            # Byzantine server is present here to void safety.
+            continue
+        total = by_kind["byzantine"] + by_kind["crashed"]
+        if total > f:
+            raise ConfigurationError(
+                f"fault schedule exceeds the Byzantine budget at "
+                f"t={instant:g}s: up to {by_kind['byzantine']} Byzantine and "
+                f"{by_kind['crashed']} crashed server(s) at once, but the "
+                f"scenario tolerates f={f} faulty server(s) "
+                f"(n={setchain.n_servers}, quorum={quorum}); shorten or "
+                "stagger the fault windows, or raise f/n")
+        for group, members in groups.items():
+            group_byz = sum(costs[group] for _s, _e, kind, costs in active
+                            if kind == "byzantine")
+            group_total = sum(costs[group] for _s, _e, _kind, costs in active)
+            # Only the schedule's own *Byzantine* damage counts per group:
+            # a group too small to reach quorum even fault-free is a
+            # topology property, and a crash-only group is a liveness
+            # experiment, not a schedule error.
+            if group_byz and len(members) - group_total < quorum:
+                raise ConfigurationError(
+                    f"fault schedule leaves the {group!r} group below quorum "
+                    f"at t={instant:g}s: up to {group_total} of "
+                    f"{len(members)} server(s) Byzantine or crashed, but "
+                    f"epoch commits need {quorum} correct signer(s) "
+                    f"(quorum = f+1 with f={f}); shorten or stagger the "
+                    "fault windows, or raise the group size")

@@ -6,7 +6,11 @@ over the simulated network:
 
 * ``tx``        — mempool gossip (``BroadcastTxAsync`` flood, one hop),
 * ``proposal``  — block proposal for a height/round,
-* ``prevote`` / ``precommit`` — Tendermint votes.
+* ``prevote`` / ``precommit`` — Tendermint votes,
+* ``catchup_request`` / ``catchup_response`` — peer block-sync for nodes that
+  fell behind (lossy links can swallow a proposal or commit-completing vote;
+  real CometBFT recovers through continuous gossip and the blocksync
+  reactor, both collapsed here into an explicit request/serve pair).
 
 A block commits at a node when it holds the proposal and ``2f + 1`` precommits
 for its block id; every correct node then delivers the block to its
@@ -43,6 +47,12 @@ _VOTE_SIZE = 100
 _EMPTY_RETRY_FRACTION = 0.2
 #: Round timeout as a multiple of the block interval before prevoting nil.
 _ROUND_TIMEOUT_FACTOR = 4.0
+#: Height gap at which a node assumes it missed commits and requests
+#: block-sync from its peers.  A gap of one is normal pipelining (votes for
+#: the next height arrive while this node's commit is still in flight); two
+#: or more cannot happen without message loss or a crash, so the trigger is
+#: unreachable in fault-free runs and their artifacts stay byte-identical.
+_CATCHUP_HEIGHT_GAP = 2
 
 
 class CometBFTNode(NetworkNode, LedgerInterface):
@@ -72,10 +82,17 @@ class CometBFTNode(NetworkNode, LedgerInterface):
                                       if peer != name)
         #: tx_id -> height at which this node committed the transaction.
         self.inclusion_height: dict[int, int] = {}
+        #: Last time this node asked a peer for block-sync (rate limit), and
+        #: the rotation cursor over peers (one request goes to one peer; a
+        #: peer that cannot help is skipped on the next attempt).
+        self._last_catchup_request = float("-inf")
+        self._catchup_peer_index = 0
         self.on("tx", self._on_tx)
         self.on("proposal", self._on_proposal)
         self.on("prevote", self._on_vote)
         self.on("precommit", self._on_vote)
+        self.on("catchup_request", self._on_catchup_request)
+        self.on("catchup_response", self._on_catchup_response)
 
     # -- helpers ----------------------------------------------------------------
 
@@ -219,6 +236,8 @@ class CometBFTNode(NetworkNode, LedgerInterface):
         proposal: Proposal = message.payload
         if proposal.height > self.height:
             self._future.setdefault(proposal.height, []).append(message)
+            if proposal.height - self.height >= _CATCHUP_HEIGHT_GAP:
+                self._request_catch_up()
             return
         if proposal.height < self.height:
             return
@@ -243,6 +262,8 @@ class CometBFTNode(NetworkNode, LedgerInterface):
         vote: Vote = message.payload
         if vote.height > self.height:
             self._future.setdefault(vote.height, []).append(message)
+            if vote.height - self.height >= _CATCHUP_HEIGHT_GAP:
+                self._request_catch_up()
             return
         if vote.height < self.height:
             return
@@ -351,13 +372,98 @@ class CometBFTNode(NetworkNode, LedgerInterface):
             # end (always safe: this validator precommits at most once).
             state.precommitted = True
             self._cast_vote(VoteType.PRECOMMIT, NIL_BLOCK)
-        elif state.precommitted and self._round_is_dead():
-            # timeout_precommit: no block can reach a precommit quorum in
-            # this round any more — move on (_advance_round re-arms the timer).
-            self._advance_round()
-            return
+        elif state.precommitted:
+            if self._round_is_dead():
+                # timeout_precommit: no block can reach a precommit quorum in
+                # this round any more — move on (_advance_round re-arms).
+                self._advance_round()
+                return
+            # Stuck: we have precommitted and waited a full timeout, yet the
+            # round neither committed nor provably died — a lossy link
+            # swallowed votes or the proposal, or a straggler's votes are
+            # missing for good.  Re-gossip our round state (idempotent at
+            # every receiver) and ask peers for block-sync, so a lost
+            # message can delay a height but never wedge it forever.
+            # Unreachable in fault-free runs: with every message delivered,
+            # a round always commits or goes provably dead before a second
+            # timeout, so artifacts stay byte-identical.
+            self._regossip_round()
+            self._request_catch_up()
         self._maybe_progress()
         self._round_timer.start(self.config.block_interval * _ROUND_TIMEOUT_FACTOR)
+
+    # -- peer block-sync (lossy-link liveness) -------------------------------------
+
+    def _request_catch_up(self) -> None:
+        """Ask one peer for block-sync (rate-limited to one per timeout).
+
+        Fired when consensus traffic arrives ≥ :data:`_CATCHUP_HEIGHT_GAP`
+        heights ahead (we demonstrably missed commits) or when a round is
+        stuck past its timeout.  The peer answers with the committed blocks
+        we lack; a peer at our own height re-sends its round state instead.
+        Requests rotate over the validator set — one peer per attempt, like
+        :meth:`CometBFTNetwork.recover_node`'s single-peer sync — so a
+        straggler costs one chain transfer, not ``n - 1`` redundant ones; a
+        crashed or equally-behind peer is simply skipped next attempt.
+        """
+        if not self._peer_validators:
+            return
+        now = self.sim.now
+        window = self.config.block_interval * _ROUND_TIMEOUT_FACTOR
+        if now - self._last_catchup_request < window:
+            return
+        self._last_catchup_request = now
+        peer = self._peer_validators[
+            self._catchup_peer_index % len(self._peer_validators)]
+        self._catchup_peer_index += 1
+        self.send(peer, "catchup_request", self.height, size_bytes=_VOTE_SIZE)
+
+    def _on_catchup_request(self, message: Message) -> None:
+        peer_height: int = message.payload
+        blocks = tuple(self.committed_blocks[peer_height - 1:])
+        if blocks:
+            size = sum(tx.size_bytes for block in blocks
+                       for tx in block.transactions)
+            self.send(message.sender, "catchup_response", blocks,
+                      size_bytes=size)
+            return
+        if peer_height == self.height:
+            # Same height: the peer is missing round traffic, not blocks —
+            # re-send our proposal and votes for the current round to it.
+            self._regossip_round(to=message.sender)
+
+    def _on_catchup_response(self, message: Message) -> None:
+        blocks = [block for block in message.payload
+                  if block.height >= self.height]
+        if blocks:
+            self.catch_up(blocks)
+
+    def _regossip_round(self, to: str | None = None) -> None:
+        """Re-send this node's proposal/votes for the current round.
+
+        Receivers record votes into sets and proposals into a keyed map, so
+        re-delivery is idempotent; ``to`` narrows the fan-out to one peer
+        (catch-up replies), the default re-broadcasts to every validator.
+        """
+        state = self.state
+        proposal = state.proposal
+        if proposal is not None:
+            if to is None:
+                self._broadcast_validators("proposal", proposal,
+                                           size_bytes=proposal.size_bytes)
+            else:
+                self.send(to, "proposal", proposal,
+                          size_bytes=proposal.size_bytes)
+        for (vote_round, vote_type, block_id), voters in state.votes.items():
+            if vote_round != state.round or self.name not in voters:
+                continue
+            vote = Vote(height=self.height, round=vote_round, voter=self.name,
+                        vote_type=vote_type, block_id=block_id)
+            if to is None:
+                self._broadcast_validators(vote_type.value, vote,
+                                           size_bytes=_VOTE_SIZE)
+            else:
+                self.send(to, vote_type.value, vote, size_bytes=_VOTE_SIZE)
 
     def _round_is_dead(self) -> bool:
         """True when the current round provably cannot commit any block.

@@ -26,7 +26,7 @@ def test_examples_directory_contents():
     names = {p.name for p in EXAMPLES_DIR.glob("*.py")}
     assert {"quickstart.py", "digital_registry.py", "voting.py",
             "byzantine_tolerance.py", "throughput_comparison.py",
-            "chaos_partition.py"} <= names
+            "chaos_partition.py", "chaos_byzantine.py"} <= names
 
 
 def test_quickstart_example():
@@ -59,3 +59,11 @@ def test_chaos_partition_example():
     assert "chaos timeline:" in out
     assert "availability by window:" in out
     assert "correct-server check : OK" in out
+
+
+def test_chaos_byzantine_example():
+    out = run_example("chaos_byzantine.py")
+    assert "become-byzantine" in out
+    assert "withheld requests" in out
+    assert "correct-server check : OK" in out
+    assert "epoch convergence    : OK" in out

@@ -11,6 +11,8 @@ from repro.config import ExperimentConfig, FaultScheduleConfig
 from repro.core.deployment import build_deployment, run_experiment
 from repro.errors import ConfigurationError, NetworkError
 from repro.faults import (
+    BecomeByzantine,
+    BecomeCorrect,
     Churn,
     Crash,
     DelaySpike,
@@ -96,6 +98,9 @@ def test_schedule_round_trips_through_json_for_every_builtin_kind():
                   targets=Targets(role="validators")),
         DelaySpike(at=1.0, until=4.0, extra_ms=250.0, jitter_ms=50.0),
         Churn(at=2.0, until=8.0, period=2.0, count=1),
+        BecomeByzantine(at=6.0, until=7.0, behaviour="withhold",
+                        targets=Targets(nodes=("server-2",))),
+        BecomeCorrect(at=7.5, targets=Targets(nodes=("server-2",))),
     ), availability_window=2.5)
     wire = json.loads(json.dumps(schedule.to_dict()))
     assert FaultScheduleConfig.from_dict(wire) == schedule
@@ -117,7 +122,37 @@ def test_event_from_dict_rejects_unknown_fields():
 def test_all_builtin_kinds_registered():
     assert set(fault_names()) >= {"partition", "heal", "crash", "recover",
                                   "message-loss", "duplicate", "delay-spike",
-                                  "churn"}
+                                  "churn", "become-byzantine",
+                                  "become-correct"}
+
+
+# -- registry error paths (repro.faults.plugins) --------------------------------
+
+
+def test_unknown_fault_kind_lookup_gets_did_you_mean():
+    from repro.faults import get_fault, has_fault
+    with pytest.raises(ConfigurationError,
+                       match="did you mean 'become-byzantine'"):
+        get_fault("become-byzantin")
+    assert not has_fault("become-byzantin")
+
+
+def test_duplicate_fault_kind_registration_rejected():
+    from dataclasses import dataclass
+
+    with pytest.raises(ConfigurationError, match="already registered"):
+        @register_fault("crash")
+        @dataclass(frozen=True, kw_only=True)
+        class ShadowCrash(FaultEvent):
+            pass
+    # The original registration is untouched.
+    from repro.faults import get_fault
+    assert get_fault("crash") is Crash
+
+
+def test_register_fault_rejects_empty_name():
+    with pytest.raises(ConfigurationError, match="cannot be empty"):
+        register_fault("")(Crash)
 
 
 # -- third-party fault kinds ---------------------------------------------------
@@ -574,6 +609,28 @@ def test_overlapping_partitions_on_the_same_cut_refcount():
     assert deployment.network._partitions
     deployment.sim.run_until(4.5)
     assert not deployment.network._partitions
+
+
+def test_lossy_links_cannot_wedge_block_production():
+    """Regression: a proposal (or commit-completing vote) lost to message
+    loss left straggler validators waiting forever — no re-request path —
+    and their permanently-unheard votes then kept the head round 'not
+    provably dead', wedging block production cluster-wide with full
+    mempools.  Peer catch-up (gap >= 2) plus stuck-round re-gossip bound
+    the stall; every validator must converge to one chain head."""
+    from repro.experiments.runner import scaled_config
+
+    config = (Scenario.hashchain().rate(2_000)
+              .partition(8.0, until=16.0,
+                         nodes=("server-2", "server-4", "server-7"))
+              .crash(20.0, "server-8", until=30.0)
+              .loss(0.02)
+              .build())
+    deployment = run_experiment(scaled_config(config, 25))
+    heights = [len(node.committed_blocks)
+               for node in deployment.ledger_backend.node_list()]
+    assert min(heights) == max(heights) > 20
+    assert deployment.committed_fraction > 0.9
 
 
 def test_crash_on_already_downed_target_opens_no_window():

@@ -207,3 +207,75 @@ def test_properties_hold_for_correct_servers_under_random_faults(algorithm, data
                            all_added=deployment.injected_elements,
                            include_liveness=True)
     assert violations == [], violations[:5]
+
+
+# -- Properties 1-8 under mixed crash + Byzantine + partition schedules ----------
+# PR 5's tentpole: Byzantine behaviours are schedule events, so one timeline
+# can crash a server, turn another Byzantine (any of the five behaviours,
+# reverting mid-run), cut a partition, and add background loss.  Generated
+# schedules stay within the f-budget by construction (n=5, f=2: at most one
+# crashed plus one Byzantine server at any instant), so Properties 1-8 must
+# hold at every never-crashed, never-Byzantine server for all three
+# algorithms.
+
+_BYZ_BEHAVIOURS = ("withhold", "wrong-hash", "invalid-element", "equivocate",
+                   "silent")
+
+
+@pytest.mark.parametrize("algorithm", ["vanilla", "compresschain", "hashchain"])
+@_fault_runs
+@given(data=st.data())
+def test_properties_hold_under_mixed_crash_byzantine_partition_schedules(
+        algorithm, data):
+    from repro.api import Scenario
+    from repro.core.deployment import run_experiment
+    from repro.core.properties import check_all
+    from repro.faults import (
+        BecomeByzantine,
+        Crash,
+        MessageLoss,
+        Partition,
+        Targets,
+    )
+
+    events = []
+    faulty = []
+    if data.draw(st.booleans(), label="crash server-3"):
+        at = data.draw(st.floats(0.2, 3.0), label="crash at")
+        down = data.draw(st.floats(0.5, 2.5), label="crash down for")
+        events.append(Crash(at=at, until=at + down,
+                            targets=Targets(nodes=("server-3",))))
+        faulty.append("server-3")
+    if data.draw(st.booleans(), label="byzantine server-4"):
+        behaviour = data.draw(st.sampled_from(_BYZ_BEHAVIOURS),
+                              label="behaviour")
+        at = data.draw(st.floats(0.2, 3.0), label="byzantine at")
+        width = data.draw(st.floats(0.5, 2.5), label="byzantine width")
+        events.append(BecomeByzantine(at=at, until=at + width,
+                                      targets=Targets(nodes=("server-4",)),
+                                      behaviour=behaviour))
+        faulty.append("server-4")
+    if data.draw(st.booleans(), label="partition"):
+        at = data.draw(st.floats(0.2, 3.5), label="partition at")
+        width = data.draw(st.floats(0.3, 2.0), label="partition width")
+        count = data.draw(st.integers(1, 2), label="partition size")
+        events.append(Partition(at=at, until=at + width,
+                                group=Targets(role="servers", count=count)))
+    if data.draw(st.booleans(), label="loss"):
+        rate = data.draw(st.floats(0.005, 0.05), label="loss rate")
+        events.append(MessageLoss(at=0.0, until=4.0, rate=rate))
+    seed = data.draw(st.integers(0, 2**16), label="seed")
+
+    config = (Scenario(algorithm).servers(5).rate(150).collector(10)
+              .inject_for(4).drain(40).backend("ideal")
+              .faults(*events).seed(seed).build())
+    deployment = run_experiment(config)
+
+    assert deployment.byzantine_servers() <= set(faulty)
+    views = {server.name: server.get() for server in deployment.servers
+             if server.name not in faulty}
+    assert len(views) >= config.setchain.quorum
+    violations = check_all(views, quorum=config.setchain.quorum,
+                           all_added=deployment.injected_elements,
+                           include_liveness=True)
+    assert violations == [], violations[:5]
