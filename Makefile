@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-pytest bench-smoke chaos-smoke byz-smoke list-scenarios clean
+.PHONY: test bench bench-pytest bench-smoke chaos-smoke byz-smoke service-smoke list-scenarios clean
 
 test:
 	$(PYTHON) -m pytest -q
@@ -38,6 +38,18 @@ byz-smoke:
 	$(PYTHON) -m repro sweep --contains byz/smoke --jobs 4 --quiet --seed 7 --out results/byz-j4
 	cmp results/byz-j1/byz__smoke.json results/byz-j4/byz__smoke.json
 	@echo "byz/smoke byte-identical under --jobs 1 vs --jobs 4"
+
+# Service mode end to end: start a service on a durable sqlite ledger,
+# stream 1k elements through the ingress queue while probing /metrics every
+# tick (the run fails below 90% probe availability), shut down cleanly, then
+# restart on the same database (resume) and audit the persisted chain.
+service-smoke:
+	mkdir -p results && rm -f results/service-smoke.sqlite
+	$(PYTHON) -m repro serve service/smoke --db results/service-smoke.sqlite \
+	  --rate 250 --duration 4 --settle 6 --min-availability 0.9
+	$(PYTHON) -m repro serve service/smoke --db results/service-smoke.sqlite \
+	  --rate 100 --duration 2 --settle 6 --min-availability 0.9
+	$(PYTHON) -m repro service inspect results/service-smoke.sqlite
 
 list-scenarios:
 	$(PYTHON) -m repro list-scenarios

@@ -63,6 +63,20 @@ def rolling_throughput(commit_times: list[float], window: float = PAPER_ROLLING_
                             values=tuple(float(v) for v in values))
 
 
+def recent_throughput(commit_times: list[float], now: float,
+                      window: float = PAPER_ROLLING_WINDOW) -> float:
+    """Committed el/s over ``(now - window, now]`` — the live-metrics gauge.
+
+    A single sample of the paper's rolling window ending at the current
+    simulated time, cheap enough for a ``/metrics`` endpoint to compute on
+    every scrape.
+    """
+    if window <= 0:
+        raise ConfigurationError("window must be positive")
+    count = sum(1 for t in commit_times if now - window < t <= now)
+    return count / window
+
+
 def average_throughput(commit_times: list[float], up_to: float = 50.0) -> float:
     """Average committed el/s over ``[0, up_to]`` (Table 2's metric)."""
     if up_to <= 0:

@@ -674,3 +674,12 @@ register_scenario(
     description="Minimal 4-server run over the ideal ledger; finishes in ~1 s",
 )(lambda: Scenario.hashchain().servers(4).rate(100).collector(10)
   .inject_for(5).drain(30).backend("ideal"))
+
+
+# -- service/ family ----------------------------------------------------------
+# Long-running-service shapes (rolling restarts, sustained overload, soak
+# horizons); defined next to the service runtime they are meant to drive.
+
+from ..service.scenarios import register_service_family  # noqa: E402
+
+register_service_family()

@@ -77,6 +77,17 @@ def _build_parser() -> argparse.ArgumentParser:
     report_p.add_argument("files", nargs="+", metavar="JSON",
                           help="RunResult artifacts produced by run/sweep")
 
+    # Service mode (repro.service): the arguments are declared by the service
+    # package; the handlers are imported lazily at dispatch time.
+    from ..service.cli import add_serve_arguments, add_service_arguments
+    serve_p = sub.add_parser("serve",
+                             help="run a scenario as a long-lived service "
+                                  "(streamed ingest, live /metrics)")
+    add_serve_arguments(serve_p)
+    service_p = sub.add_parser("service",
+                               help="operate on persisted service ledgers")
+    add_service_arguments(service_p)
+
     return parser
 
 
@@ -254,11 +265,23 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from ..service.cli import cmd_serve
+    return cmd_serve(args)
+
+
+def _cmd_service(args: argparse.Namespace) -> int:
+    from ..service.cli import cmd_service
+    return cmd_service(args)
+
+
 _COMMANDS = {
     "list-scenarios": _cmd_list,
     "run": _cmd_run,
     "sweep": _cmd_sweep,
     "report": _cmd_report,
+    "serve": _cmd_serve,
+    "service": _cmd_service,
 }
 
 

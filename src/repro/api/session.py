@@ -48,23 +48,34 @@ class Session:
     """A started-on-demand deployment with incremental control of sim time."""
 
     def __init__(self, scenario: "ScenarioBuilder | ExperimentConfig | str",
-                 *, scale: float = 1.0, seed: int | None = None) -> None:
+                 *, scale: float = 1.0, seed: int | None = None,
+                 inject: bool = True) -> None:
         from ..experiments.runner import scaled_config
         self.config = scaled_config(_resolve_config(scenario), scale)
         self.scale = scale
         self.deployment: Deployment = build_deployment(self.config, seed=seed)
         self._started = False
+        self._inject_clients = inject
         self._injected_by_hand = 0
 
     # -- lifecycle -------------------------------------------------------------
 
     def start(self) -> "Session":
-        """Start ledger block production, servers, and client injection."""
+        """Start ledger block production, servers, and client injection.
+
+        Sessions built with ``inject=False`` start everything except the
+        batch injection clients (service mode streams its own workload).
+        """
         if self._started:
             raise SimulationError("session already started")
-        self.deployment.start()
+        self.deployment.start(inject=self._inject_clients)
         self._started = True
         return self
+
+    def stop(self) -> None:
+        """Stop injection and block production (idempotent); see
+        :meth:`Deployment.stop`."""
+        self.deployment.stop()
 
     @property
     def started(self) -> bool:

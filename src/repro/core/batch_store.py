@@ -60,3 +60,7 @@ class BatchStore:
     def is_local(self, batch_hash: str) -> bool:
         """True if this server originated the batch (no hash-reversal needed)."""
         return batch_hash in self._local_hashes
+
+    def items(self) -> list[tuple[str, tuple[object, ...]]]:
+        """Every stored ``(hash, batch)`` pair, for journaling/checkpointing."""
+        return list(self._batches.items())

@@ -59,18 +59,62 @@ class Deployment:
     region_of: dict[str, str] = field(default_factory=dict)
     #: Executes ``config.faults``; ``None`` for fault-free runs.
     fault_injector: FaultInjector | None = None
+    _started: bool = field(default=False, init=False, repr=False)
+    _stopped: bool = field(default=False, init=False, repr=False)
 
     # -- running ------------------------------------------------------------------
 
-    def start(self) -> None:
+    @property
+    def started(self) -> bool:
+        return self._started
+
+    @property
+    def stopped(self) -> bool:
+        return self._stopped
+
+    def start(self, *, inject: bool = True) -> None:
         """Start ledger block production, servers, client injection, and arm
-        the fault schedule (when one is configured)."""
+        the fault schedule (when one is configured).
+
+        ``inject=False`` leaves the batch injection clients idle — service
+        mode streams its own elements through the ingress queue instead of
+        running the configured fixed-rate workload.
+        """
+        if self._stopped:
+            raise NetworkError("deployment already stopped; build a new one")
+        if self._started:
+            raise NetworkError("deployment already started")
         self.ledger_backend.start()
         for server in self.servers:
             server.start()
-        self.clients.start()
+        if inject:
+            self.clients.start()
         if self.fault_injector is not None:
             self.fault_injector.arm()
+        self._started = True
+
+    def stop(self) -> None:
+        """Stop client injection and ledger block production (idempotent).
+
+        Service mode calls this on SIGTERM and during rolling restarts; the
+        simulator and all state stay inspectable after stopping, but no new
+        blocks are produced if the clock is advanced further.
+        """
+        if self._stopped:
+            return
+        self._stopped = True
+        self.clients.stop()
+        stop = getattr(self.ledger_backend, "stop", None)
+        if stop is not None:
+            stop()
+
+    def __enter__(self) -> "Deployment":
+        if not self._started:
+            self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
 
     def run(self, until: float | None = None) -> None:
         """Run the simulation for the configured experiment duration.

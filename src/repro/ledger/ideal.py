@@ -97,8 +97,19 @@ class IdealLedger:
         self.blocks.append(block)
         for tx in included:
             self.inclusion_height[tx.tx_id] = block.height
+        # Durability point: the block must be persisted before any application
+        # observes it, so a crash can only lose blocks no app has acted on.
+        self._persist_block(block)
         for app in list(self._apps):
             app.finalize_block(block)
+
+    def _persist_block(self, block: Block) -> None:
+        """Durability hook between block cut and app notification.
+
+        The in-memory sequencer keeps nothing; durable subclasses (the
+        ``sqlite`` service backend) override this to write the block inside a
+        transaction so the committed prefix survives a process crash.
+        """
 
 
 class IdealLedgerHandle(LedgerInterface):

@@ -1,0 +1,215 @@
+"""CLI entry points for service mode: ``repro serve`` and ``repro service``.
+
+``serve`` drives a :class:`~repro.service.runtime.ServiceRuntime` from the
+command line: it streams elements (at a fixed rate or from a recorded trace)
+through the ingress queue, ticks the simulation, serves live metrics over
+HTTP, and shuts down cleanly on SIGINT/SIGTERM.  ``service inspect`` re-opens
+a persisted sqlite ledger offline and audits the chain.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import signal
+import sys
+import urllib.error
+import urllib.request
+
+from ..analysis.report import render_table
+from ..errors import ReproError
+from .http import MetricsEndpoint
+from .persistence import audit_chain
+from .runtime import ServiceRuntime
+
+
+def add_serve_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("scenario", nargs="?", default="service/default",
+                        help="registered scenario describing the deployment "
+                             "(default: service/default)")
+    parser.add_argument("--db", metavar="PATH",
+                        help="persist the ledger to this sqlite database; "
+                             "re-opening an existing database resumes it")
+    parser.add_argument("--duration", type=float, default=10.0,
+                        help="simulated seconds to stream elements for "
+                             "(default 10)")
+    parser.add_argument("--settle", type=float, default=5.0,
+                        help="extra simulated seconds to run after streaming "
+                             "ends, letting in-flight elements commit "
+                             "(default 5)")
+    parser.add_argument("--rate", type=float, default=200.0,
+                        help="submissions per simulated second (default 200)")
+    parser.add_argument("--trace", metavar="PATH",
+                        help="replay a recorded workload trace instead of "
+                             "submitting at --rate")
+    parser.add_argument("--tick", type=float, default=0.1,
+                        help="simulated seconds per service tick (default 0.1)")
+    parser.add_argument("--queue-limit", type=int, default=10_000,
+                        help="ingress queue bound before submissions are "
+                             "rejected (default 10000)")
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="metrics endpoint bind address")
+    parser.add_argument("--port", type=int, default=0,
+                        help="metrics endpoint port (default 0 = ephemeral)")
+    parser.add_argument("--no-http", action="store_true",
+                        help="run without the metrics endpoint")
+    parser.add_argument("--min-availability", type=float, default=None,
+                        metavar="FRACTION",
+                        help="probe /metrics every tick and exit non-zero if "
+                             "fewer than this fraction of probes succeed")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="override the simulator/workload seed")
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="down-scale factor for the deployment config")
+    parser.add_argument("--json", metavar="PATH",
+                        help="write the final RunResult JSON artifact here")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress the end-of-run summary")
+
+
+def add_service_arguments(parser: argparse.ArgumentParser) -> None:
+    sub = parser.add_subparsers(dest="service_command", required=True)
+    inspect_p = sub.add_parser("inspect",
+                               help="audit a persisted sqlite ledger")
+    inspect_p.add_argument("db", help="sqlite database written by repro serve")
+    inspect_p.add_argument("--json", action="store_true",
+                           help="emit the audit as one JSON object")
+
+
+def _probe(url: str) -> bool:
+    try:
+        with urllib.request.urlopen(url + "/metrics", timeout=2.0) as response:
+            return response.status == 200
+    except (urllib.error.URLError, OSError):
+        return False
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    stop_requested = False
+
+    def request_stop(signum: int, frame: object) -> None:
+        nonlocal stop_requested
+        stop_requested = True
+
+    installed: list[int] = []
+    try:
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            signal.signal(signum, request_stop)
+            installed.append(signum)
+    except ValueError:
+        pass  # not the main thread (e.g. under a test runner worker)
+
+    runtime = ServiceRuntime(args.scenario, db=args.db, seed=args.seed,
+                             scale=args.scale, tick=args.tick,
+                             queue_limit=args.queue_limit)
+    endpoint = None if args.no_http else MetricsEndpoint(
+        runtime, host=args.host, port=args.port)
+    probing = args.min_availability is not None and endpoint is not None
+    probes_ok = probes_total = 0
+    try:
+        if not args.quiet:
+            where = f"db {args.db}" if args.db else "in-memory ledger"
+            listen = endpoint.url if endpoint else "no http endpoint"
+            resumed = (f", resumed {runtime.recovered_blocks} blocks"
+                       if runtime.recovered_blocks else "")
+            print(f"serving {args.scenario} on {where} ({listen}){resumed}")
+        if args.trace:
+            runtime.load_trace(args.trace)
+        carry = 0.0
+        ticks = max(1, round(args.duration / args.tick))
+        for _ in range(ticks):
+            if stop_requested:
+                break
+            if not args.trace:
+                due = args.rate * args.tick + carry
+                count = int(due)
+                carry = due - count
+                runtime.submit_many(count, client="serve")
+            runtime.tick()
+            if probing:
+                probes_total += 1
+                probes_ok += 1 if _probe(endpoint.url) else 0
+        settle_ticks = max(0, round(args.settle / args.tick))
+        for _ in range(settle_ticks):
+            if stop_requested:
+                break
+            runtime.tick()
+            if probing:
+                probes_total += 1
+                probes_ok += 1 if _probe(endpoint.url) else 0
+        snapshot = runtime.metrics_snapshot()
+        result = runtime.result()
+        runtime.stop()
+    finally:
+        if endpoint is not None:
+            endpoint.stop()
+        if not runtime.stopped:
+            runtime.stop()
+        for signum in installed:
+            signal.signal(signum, signal.SIG_DFL)
+
+    availability = probes_ok / probes_total if probes_total else None
+    if not args.quiet:
+        ingress = snapshot["ingress"]
+        print(f"  streamed {ingress['accepted'] + ingress['deferred']} "
+              f"accepted+deferred / {ingress['rejected']} rejected "
+              f"(queue limit {ingress['queue_limit']})")
+        print(f"  injected / committed : {snapshot['injected']} / "
+              f"{snapshot['committed_this_run']} "
+              f"({snapshot['committed_fraction']:.1%})")
+        if snapshot["recovered_commits"]:
+            print(f"  recovered commits    : {snapshot['recovered_commits']} "
+                  f"(from {snapshot['recovered_blocks']} persisted blocks)")
+        ledger = snapshot["ledger"]
+        if ledger.get("durable"):
+            print(f"  ledger height        : {ledger['height']} "
+                  f"-> {ledger['db']}")
+        if availability is not None:
+            print(f"  /metrics availability: {availability:.1%} "
+                  f"({probes_ok}/{probes_total} probes)")
+        if stop_requested:
+            print("  stopped early on signal")
+    if args.json:
+        path = result.save(args.json)
+        if not args.quiet:
+            print(f"  wrote {path}")
+    if (args.min_availability is not None and availability is not None
+            and availability < args.min_availability):
+        print(f"error: /metrics availability {availability:.1%} below "
+              f"required {args.min_availability:.1%}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_service(args: argparse.Namespace) -> int:
+    if args.service_command == "inspect":
+        return _cmd_inspect(args)
+    raise ReproError(f"unknown service command {args.service_command!r}")
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    audit = audit_chain(args.db)
+    if args.json:
+        print(json.dumps(audit, indent=2))
+        return 0
+    rows = [
+        ["height", audit["height"]],
+        ["transactions", audit["transactions"]],
+        ["contiguous", "yes" if audit["contiguous"] else "NO"],
+        ["unique elements", audit["elements"]["unique"]],
+        ["element bytes", audit["elements"]["total_bytes"]],
+        ["batches journaled", audit["batches_journaled"]],
+        ["opens", audit["opens"]],
+        ["first block at", "-" if audit["first_timestamp"] is None
+         else f"{audit['first_timestamp']:.2f} s"],
+        ["last block at", "-" if audit["last_timestamp"] is None
+         else f"{audit['last_timestamp']:.2f} s"],
+    ]
+    print(render_table(["field", "value"], rows,
+                       title=f"ledger audit: {audit['path']}"))
+    if audit["tx_kinds"]:
+        kind_rows = [[kind, count]
+                     for kind, count in audit["tx_kinds"].items()]
+        print()
+        print(render_table(["payload kind", "transactions"], kind_rows))
+    return 0

@@ -1,0 +1,88 @@
+"""Live metrics over HTTP: ``GET /metrics`` and ``GET /healthz``.
+
+A tiny stdlib ``http.server`` endpoint serving JSON scrapes of a running
+:class:`~repro.service.runtime.ServiceRuntime`.  The server runs in a daemon
+thread; every scrape takes the runtime lock, so readings are consistent with
+the tick loop without ever blocking it for long.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .runtime import ServiceRuntime
+
+
+class MetricsEndpoint:
+    """Serve ``/metrics`` and ``/healthz`` for one runtime (daemon thread)."""
+
+    def __init__(self, runtime: "ServiceRuntime", host: str = "127.0.0.1",
+                 port: int = 0) -> None:
+        self.runtime = runtime
+        endpoint = self
+
+        class Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 - http.server API
+                endpoint._handle(self)
+
+            def log_message(self, *args: object) -> None:
+                """Silence per-request stderr logging."""
+
+        self._server = ThreadingHTTPServer((host, port), Handler)
+        self._server.daemon_threads = True
+        self._thread = threading.Thread(target=self._server.serve_forever,
+                                        name="repro-metrics", daemon=True)
+        self._stopped = False
+        self._thread.start()
+
+    def _handle(self, request: BaseHTTPRequestHandler) -> None:
+        path = request.path.split("?", 1)[0]
+        if path == "/metrics":
+            self._reply(request, 200, self.runtime.metrics_snapshot())
+        elif path == "/healthz":
+            body = self.runtime.healthz()
+            self._reply(request, 200 if body["status"] == "ok" else 503, body)
+        else:
+            self._reply(request, 404, {"error": f"no route {path!r}",
+                                       "routes": ["/metrics", "/healthz"]})
+
+    @staticmethod
+    def _reply(request: BaseHTTPRequestHandler, status: int, body: dict) -> None:
+        payload = json.dumps(body).encode()
+        request.send_response(status)
+        request.send_header("Content-Type", "application/json")
+        request.send_header("Content-Length", str(len(payload)))
+        request.end_headers()
+        request.wfile.write(payload)
+
+    @property
+    def host(self) -> str:
+        return self._server.server_address[0]
+
+    @property
+    def port(self) -> int:
+        """The bound port (useful with ``port=0`` for an ephemeral port)."""
+        return self._server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def stop(self) -> None:
+        """Shut the endpoint down (idempotent)."""
+        if self._stopped:
+            return
+        self._stopped = True
+        self._server.shutdown()
+        self._server.server_close()
+        self._thread.join(timeout=5.0)
+
+    def __enter__(self) -> "MetricsEndpoint":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

@@ -1,0 +1,71 @@
+"""The ``service/`` scenario family: shapes batch experiments cannot express.
+
+Registered into the shared scenario registry by the catalog (so
+``python -m repro list-scenarios --family service`` and ``repro serve
+<name>`` both see them).  These configs describe the *deployment* a service
+runs on — cluster size, algorithm, ledger cadence, and any scheduled faults;
+the injection window only matters when a scenario is run as a batch
+experiment, since service mode streams its own ingest and ``repro serve``
+controls wall-clock duration directly.
+"""
+
+from __future__ import annotations
+
+from ..api.builder import Scenario
+from ..api.registry import register_scenario
+
+
+def register_service_family() -> None:
+    """Register every ``service/...`` scenario (called once by the catalog)."""
+    register_scenario(
+        "service/default", tags=("service",),
+        description="service-mode default: 4-server hashchain on the ideal "
+                    "sequencer, sized for interactive ticking",
+    )(lambda: Scenario.hashchain().servers(4).rate(200).collector(25)
+      .inject_for(10).drain(60).backend("ideal"))
+
+    register_scenario(
+        "service/smoke", tags=("service", "ci"),
+        description="tiny service deployment for CI smoke runs "
+                    "(4-server hashchain, finishes in seconds)",
+    )(lambda: Scenario.hashchain().servers(4).rate(100).collector(10)
+      .inject_for(5).drain(30).backend("ideal"))
+
+    # Rolling restarts: each server is crash-faulted and recovered in turn
+    # while traffic keeps flowing — the upgrade drill a long-running service
+    # must survive (recovered servers replay the blocks they missed).
+    for algorithm in ("vanilla", "hashchain"):
+        register_scenario(
+            f"service/rolling-restart/{algorithm}",
+            tags=("service", "faults", algorithm),
+            description=f"{algorithm}: servers 0-2 restarted one at a time "
+                        "(down 5 s each) under steady 1k el/s traffic",
+        )(lambda a=algorithm: Scenario(a).servers(4).rate(1_000).collector(25)
+          .inject_for(40).drain(80).backend("ideal")
+          .crash(10.0, "server-0", until=15.0)
+          .crash(20.0, "server-1", until=25.0)
+          .crash(30.0, "server-2", until=35.0))
+
+    # Sustained overload: offered load far above the algorithm's analytical
+    # ceiling, held for the whole window.  Run under `repro serve` the
+    # ingress queue saturates and the accept/defer/reject counters show
+    # backpressure doing its job.
+    for algorithm in ("hashchain", "compresschain"):
+        register_scenario(
+            f"service/overload/{algorithm}",
+            tags=("service", "stress", algorithm),
+            description=f"{algorithm}: 30k el/s sustained — far past the "
+                        "ceiling, exercising backpressure and backlog",
+        )(lambda a=algorithm: Scenario(a).servers(4).rate(30_000)
+          .collector(100).inject_for(20).drain(120).backend("ideal"))
+
+    # Long horizon: an order of magnitude past the paper's 50 s window, at a
+    # rate the cluster can sustain indefinitely — drift (unbounded backlogs,
+    # leaking queues) shows up here, not in short batch runs.
+    register_scenario(
+        "service/long-horizon/hashchain",
+        tags=("service", "soak", "hashchain"),
+        description="hashchain soak: 500 el/s held for 500 s of simulated "
+                    "time (10x the paper's measurement window)",
+    )(lambda: Scenario.hashchain().servers(4).rate(500).collector(25)
+      .inject_for(500).drain(100).backend("ideal"))

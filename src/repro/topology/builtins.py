@@ -96,6 +96,12 @@ def _ideal(sim: Simulator, network: Network, n: int,
     return ideal, [ideal.handle_for(f"server-{i}") for i in range(n)]
 
 
+# The durable service-mode backend registers itself on import ("sqlite");
+# importing it here makes the name resolvable from any config, not only after
+# service entry points have run.
+from ..service import persistence as _service_persistence  # noqa: E402,F401
+
+
 # -- latency profiles ----------------------------------------------------------
 
 

@@ -26,7 +26,8 @@ def test_examples_directory_contents():
     names = {p.name for p in EXAMPLES_DIR.glob("*.py")}
     assert {"quickstart.py", "digital_registry.py", "voting.py",
             "byzantine_tolerance.py", "throughput_comparison.py",
-            "chaos_partition.py", "chaos_byzantine.py"} <= names
+            "chaos_partition.py", "chaos_byzantine.py",
+            "service_overload.py"} <= names
 
 
 def test_quickstart_example():
@@ -59,6 +60,13 @@ def test_chaos_partition_example():
     assert "chaos timeline:" in out
     assert "availability by window:" in out
     assert "correct-server check : OK" in out
+
+
+def test_service_overload_example():
+    out = run_example("service_overload.py")
+    assert "rejected by backpressure" in out
+    assert "(100.0%)" in out  # every admitted element committed
+    assert "property check    : OK" in out
 
 
 def test_chaos_byzantine_example():

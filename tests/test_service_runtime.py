@@ -1,0 +1,243 @@
+"""ServiceRuntime: streamed ingest, backpressure, ticking, live metrics.
+
+Covers the service façade over a deployment: bounded-queue backpressure with
+exact accept/defer/reject accounting, trace-driven ingest, rolling restarts
+under traffic, the live metrics/health snapshots (including the stdlib HTTP
+endpoint), and the idempotent stop lifecycle.
+"""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.api.builder import Scenario
+from repro.errors import ConfigurationError, SimulationError
+from repro.service.http import MetricsEndpoint
+from repro.service.runtime import DEFER_WATERMARK, ServiceRuntime
+from repro.workload.traces import record_trace
+
+
+def small_runtime(**kwargs):
+    scenario = (Scenario.hashchain().servers(4).rate(100).collector(10)
+                .inject_for(5).drain(30).backend("ideal"))
+    return ServiceRuntime(scenario, seed=5, **kwargs)
+
+
+# -- ingest and backpressure ----------------------------------------------------
+
+
+def test_streamed_elements_commit_and_satisfy_properties():
+    runtime = small_runtime()
+    verdicts = runtime.submit_many(200)
+    assert verdicts == {"accepted": 200, "deferred": 0, "rejected": 0}
+    runtime.run_for(8.0)
+    snapshot = runtime.metrics_snapshot()
+    assert snapshot["injected"] == 200
+    assert snapshot["committed"] == 200
+    assert snapshot["committed_fraction"] == 1.0
+    assert runtime.session.check_properties() == []
+    runtime.stop()
+
+
+def test_backpressure_accounts_for_every_submission():
+    runtime = small_runtime(queue_limit=100)
+    verdicts = runtime.submit_many(250)
+    # Exactly one verdict per submission; the queue bound is respected.
+    assert sum(verdicts.values()) == 250
+    assert verdicts["rejected"] == 150
+    assert verdicts["deferred"] > 0
+    assert runtime.queue_depth == 100
+    counters = runtime.ingress_counters
+    assert counters["accepted"] + counters["deferred"] == 100
+    runtime.run_for(1.0)
+    assert runtime.queue_depth == 0  # drained into the servers
+    assert runtime.drained == 100
+    runtime.stop()
+
+
+def test_defer_watermark_flags_pressure_before_rejection():
+    runtime = small_runtime(queue_limit=10)
+    verdicts = [runtime.submit() for _ in range(10)]
+    watermark = int(10 * DEFER_WATERMARK)
+    assert verdicts[:watermark] == ["accepted"] * watermark
+    assert set(verdicts[watermark:]) == {"deferred"}
+    assert runtime.submit() == "rejected"
+    runtime.stop()
+
+
+def test_submissions_rejected_after_stop():
+    runtime = small_runtime()
+    runtime.stop()
+    assert runtime.submit() == "rejected"
+    with pytest.raises(SimulationError, match="stopped"):
+        runtime.tick()
+
+
+def test_queue_held_while_every_server_is_down():
+    runtime = small_runtime()
+    for server in runtime.deployment.servers:
+        runtime.session.crash(server.name)
+    runtime.submit_many(50)
+    runtime.run_for(1.0)
+    assert runtime.queue_depth == 50  # nothing lost, nothing drained
+    for server in runtime.deployment.servers:
+        runtime.session.recover(server.name)
+    runtime.run_for(8.0)
+    assert runtime.queue_depth == 0
+    assert runtime.metrics_snapshot()["committed"] == 50
+    runtime.stop()
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(ConfigurationError):
+        small_runtime(tick=0.0)
+    with pytest.raises(ConfigurationError):
+        small_runtime(queue_limit=0)
+    runtime = small_runtime()
+    with pytest.raises(ConfigurationError):
+        runtime.submit(size_bytes=0)
+    with pytest.raises(ConfigurationError):
+        runtime.run_for(-1.0)
+    runtime.stop()
+
+
+# -- trace-driven ingest --------------------------------------------------------
+
+
+def test_trace_replay_drives_ingest_through_backpressure(tmp_path):
+    trace = record_trace(rate=100.0, duration=3.0,
+                         clients=["client-0", "client-1"], seed=9)
+    path = tmp_path / "trace.json"
+    trace.to_json(path)
+
+    runtime = small_runtime()
+    assert runtime.load_trace(path) == len(trace)
+    assert not runtime.trace_done
+    runtime.run_for(4.0)
+    assert runtime.trace_done
+    counters = runtime.ingress_counters
+    assert counters["accepted"] == len(trace)
+    assert counters["drained"] == len(trace)
+    runtime.run_for(6.0)
+    snapshot = runtime.metrics_snapshot()
+    assert snapshot["injected"] == len(trace)
+    assert snapshot["committed"] == len(trace)
+    # The replayed clients, not the submit() default, appear as origins.
+    clients = {e.client for e in runtime.deployment.injected_elements}
+    assert clients == {"client-0", "client-1"}
+    runtime.stop()
+
+
+# -- rolling restarts -----------------------------------------------------------
+
+
+def test_rolling_restart_keeps_committing():
+    runtime = small_runtime()
+    runtime.submit_many(100)
+    runtime.run_for(2.0)
+    runtime.rolling_restart(names=["server-0", "server-1"],
+                            down_for=1.0, between=1.0)
+    runtime.submit_many(100)
+    runtime.run_for(10.0)
+    snapshot = runtime.metrics_snapshot()
+    assert snapshot["committed"] == 200
+    assert all(not state["crashed"]
+               for state in snapshot["servers"].values())
+    runtime.stop()
+
+
+# -- live metrics ---------------------------------------------------------------
+
+
+def test_metrics_snapshot_uses_run_result_vocabulary():
+    runtime = small_runtime()
+    runtime.submit_many(100)
+    runtime.run_for(5.0)
+    snapshot = runtime.metrics_snapshot()
+    # RunResult vocabulary, so batch-artifact dashboards read scrapes as-is.
+    for key in ("label", "algorithm", "injected", "committed",
+                "committed_fraction", "first_commit"):
+        assert key in snapshot
+    assert snapshot["algorithm"] == "hashchain"
+    assert snapshot["rolling_throughput"] > 0
+    assert snapshot["ledger"]["height"] > 0
+    assert set(snapshot["servers"]) == {f"server-{i}" for i in range(4)}
+    json.dumps(snapshot)  # must be JSON-serialisable as scraped
+    runtime.stop()
+
+
+def test_healthz_degrades_below_quorum():
+    runtime = small_runtime()
+    assert runtime.healthz()["status"] == "ok"
+    quorum = runtime.config.setchain.quorum
+    live = len(runtime.deployment.servers)
+    for server in runtime.deployment.servers:
+        if live < quorum:
+            break
+        runtime.session.crash(server.name)
+        live -= 1
+    health = runtime.healthz()
+    assert health["status"] == "degraded"
+    assert health["live_servers"] < health["quorum"]
+    runtime.stop()
+
+
+def test_http_endpoint_serves_metrics_and_health():
+    runtime = small_runtime()
+    endpoint = MetricsEndpoint(runtime)
+    try:
+        runtime.submit_many(50)
+        runtime.run_for(3.0)
+        with urllib.request.urlopen(endpoint.url + "/metrics") as response:
+            assert response.status == 200
+            scraped = json.load(response)
+        assert scraped["injected"] == 50
+        assert scraped == runtime.metrics_snapshot()
+        with urllib.request.urlopen(endpoint.url + "/healthz") as response:
+            assert json.load(response)["status"] == "ok"
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(endpoint.url + "/nowhere")
+        assert excinfo.value.code == 404
+    finally:
+        endpoint.stop()
+        endpoint.stop()  # idempotent
+        runtime.stop()
+
+
+def test_http_healthz_reports_degraded_as_503():
+    runtime = small_runtime()
+    endpoint = MetricsEndpoint(runtime)
+    try:
+        for server in runtime.deployment.servers:
+            runtime.session.crash(server.name)
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(endpoint.url + "/healthz")
+        assert excinfo.value.code == 503
+        assert json.load(excinfo.value)["status"] == "degraded"
+    finally:
+        endpoint.stop()
+        runtime.stop()
+
+
+# -- lifecycle ------------------------------------------------------------------
+
+
+def test_stop_is_idempotent_and_context_manager_stops():
+    with small_runtime() as runtime:
+        runtime.submit_many(10)
+        runtime.run_for(1.0)
+    assert runtime.stopped
+    runtime.stop()  # second stop is a no-op
+    assert runtime.deployment.stopped
+
+
+def test_result_packages_batch_analyses():
+    runtime = small_runtime()
+    runtime.submit_many(100)
+    runtime.run_for(8.0)
+    result = runtime.result()
+    assert result.injected == 100
+    assert result.committed == 100
+    runtime.stop()
