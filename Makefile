@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-pytest bench-smoke chaos-smoke byz-smoke service-smoke list-scenarios clean
+.PHONY: test bench bench-pytest bench-smoke chaos-smoke byz-smoke membership-smoke service-smoke list-scenarios clean
 
 test:
 	$(PYTHON) -m pytest -q
@@ -38,6 +38,20 @@ byz-smoke:
 	$(PYTHON) -m repro sweep --contains byz/smoke --jobs 4 --quiet --seed 7 --out results/byz-j4
 	cmp results/byz-j1/byz__smoke.json results/byz-j4/byz__smoke.json
 	@echo "byz/smoke byte-identical under --jobs 1 vs --jobs 4"
+
+# The whole dynamic-membership family (runtime joins with state transfer,
+# draining leaves, validator replacement, elastic service shapes) under
+# serial vs parallel sweeps: every artifact must be byte-identical, then the
+# report renders the membership timelines.
+membership-smoke:
+	$(PYTHON) -m repro sweep --contains member/ --jobs 1 --quiet --seed 7 --out results/member-j1
+	$(PYTHON) -m repro sweep --contains member/ --jobs 4 --quiet --seed 7 --out results/member-j4
+	@for artifact in results/member-j1/*.json; do \
+	  cmp "$$artifact" "results/member-j4/$$(basename $$artifact)" || exit 1; \
+	done
+	@echo "member/ family byte-identical under --jobs 1 vs --jobs 4"
+	$(PYTHON) -m repro report results/member-j1/member__service__elastic.json \
+	  results/member-j1/member__smoke.json
 
 # Service mode end to end: start a service on a durable sqlite ledger,
 # stream 1k elements through the ingress queue while probing /metrics every

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Elastic scaling: grow a live Setchain cluster under load, then shrink it.
+
+The dynamic-membership drill from the ``member/service/elastic`` scenario,
+spelled out:
+
+1. the cluster starts at n=4 (f=1, so epoch commits need 2 correct signers),
+2. at t=2 s and t=4 s two fresh servers join *while injection is live*: each
+   bootstraps by replaying the committed chain (state transfer), primes its
+   batch store from a live peer, and only counts toward quorums once caught
+   up — after which the membership epoch flips to n=5 then n=6 (f=2,
+   quorum 3), activating at a block boundary,
+3. at t=8 s one original server drains out: it stops accepting elements,
+   flushes its collector, hands its batch store off to the survivors, and
+   retires — a clean departure, not a crash,
+4. the membership timeline in the result quantifies the elasticity:
+   per-epoch f/quorum, each joiner's catch-up time and join-to-first-commit
+   time, and the drained server's handoff.
+
+Everything is seed-deterministic — rerunning this script reproduces the same
+joins, the same catch-up, and the same timeline.
+
+Run with::
+
+    python examples/elastic_scale.py
+"""
+
+from __future__ import annotations
+
+from repro import run
+
+
+def main() -> None:
+    result = run("member/service/elastic")
+    block = result.membership
+    assert block is not None
+
+    print(f"Scenario: {result.label}")
+    print("  membership epochs:")
+    for epoch in block["epochs"]:
+        members = len(epoch["members"])
+        change = ("initial set" if epoch["reason"] == "initial"
+                  else f"{epoch['reason']} {epoch['node']}")
+        print(f"    epoch {epoch['index']}  t={epoch['at']:>5.2f}s  "
+              f"height>={epoch['effective_height']:<3} n={members} "
+              f"f={epoch['f']} quorum={epoch['quorum']}  ({change})")
+
+    print("  joins (state transfer, then quorum entry):")
+    for entry in block["joins"]:
+        print(f"    {entry['node']}: caught up in {entry['catch_up_s']:.2f} s, "
+              f"first commit {entry['join_to_first_commit_s']:.2f} s "
+              f"after joining")
+
+    for entry in block["leaves"]:
+        mode = "drained" if entry["drained"] else "immediate"
+        print(f"  leave: {entry['node']} retired at t={entry['retired_at']:.2f} s "
+              f"({mode}, {entry['drained_rejects']} adds refused while "
+              f"draining)")
+
+    current = block["current"]
+    print(f"  final membership     : n={current['size']} "
+          f"(quorum {current['quorum']})")
+    print(f"  injected / committed : {result.injected} / {result.committed} "
+          f"({result.committed_fraction:.1%})")
+    assert result.committed_fraction >= 0.90
+
+
+if __name__ == "__main__":
+    main()

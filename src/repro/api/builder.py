@@ -40,6 +40,8 @@ from ..faults.events import (
     DelaySpike,
     Duplicate,
     FaultEvent,
+    Join,
+    Leave,
     MessageLoss,
     Partition,
     Targets,
@@ -398,6 +400,35 @@ class ScenarioBuilder:
         pool = self._fault_targets((), region, role, None)
         return self.faults(Churn(at=at, until=until, period=period,
                                  count=count, targets=pool))
+
+    def join(self, at: float, node: str | None = None, *,
+             role: str = "servers", region: str | None = None,
+             algorithm: str | None = None) -> "ScenarioBuilder":
+        """Admit a new node at ``at`` (dynamic membership).
+
+        ``join(10.0)`` adds one server along the deterministic
+        ``server-<i>`` naming sequence; it bootstraps via state transfer and
+        counts toward quorums only once caught up.  ``role="validators"``
+        grows the consensus layer instead (CometBFT backend);
+        ``algorithm``/``region`` place the newcomer explicitly.
+        """
+        return self.faults(Join(at=at, node=node, role=role, region=region,
+                                algorithm=algorithm))
+
+    def leave(self, at: float, *nodes: str, region: str | None = None,
+              count: int | None = None,
+              drain: bool = True) -> "ScenarioBuilder":
+        """Retire servers cleanly at ``at`` — a departure, not a crash.
+
+        ``leave(20.0, "server-1")`` drains one named server (flush, hand off
+        obligations, then retire); ``leave(20.0, count=1)`` picks a random
+        one; ``drain=False`` retires immediately.  Quorums shrink at the
+        next membership epoch.
+        """
+        if not nodes and count is None and region is None:
+            count = 1
+        targets = self._fault_targets(nodes, region, "servers", count)
+        return self.faults(Leave(at=at, targets=targets, drain=drain))
 
     def loss(self, rate: float, at: float = 0.0, *,
              until: float | None = None, region: str | None = None,

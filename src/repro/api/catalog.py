@@ -18,6 +18,10 @@ Importing this module — done lazily by the registry on its first access, see
 * ``byz/...`` — Byzantine nemeses as schedule events: servers turning
   Byzantine (withhold/wrong-hash/invalid-element/equivocate/silent) and back
   mid-run, alone and mixed with crash/partition/loss timelines;
+* ``member/...`` — dynamic membership: servers joining under load (state
+  transfer + catch-up), draining leaves, replacements, and elastic
+  grow/shrink timelines, alone and mixed with crash/partition/Byzantine
+  nemeses;
 * ``bench/...`` — the pinned ``bench-smoke`` set measured by :mod:`repro.bench`;
 * ``quickstart`` / ``smoke`` — small scenarios that finish in seconds.
 
@@ -659,6 +663,137 @@ def _register_byz() -> None:
 
 
 _register_byz()
+
+
+# -- member: dynamic membership (runtime join/leave, repro.core.membership) ----
+# Servers join under load (ledger replay + batch-store priming before they
+# count toward quorums) and leave by draining (flush, hand off, retire) as
+# schedule events under the same deterministic injector as the chaos/byz
+# families.  Every scenario here is part of the ``membership-smoke`` byte-
+# identity check (sweep --jobs 1 vs --jobs 4), so they all finish in seconds.
+
+
+def _register_member() -> None:
+    # joins under load --------------------------------------------------------
+    for algorithm in ("hashchain", "compresschain"):
+        register_scenario(
+            f"member/join/{algorithm}-under-load",
+            tags=("member", "membership", "faults", algorithm, "ci"),
+            description=(f"{algorithm}: a 5th server joins at t=2 s while "
+                         "injection is live, block-syncs the committed "
+                         "chain, and enters the quorum once caught up"),
+        )(lambda a=algorithm: Scenario(a).servers(4).rate(400).collector(20)
+          .inject_for(6).drain(50).backend("ideal")
+          .join(2.0))
+    register_scenario(
+        "member/join/vanilla-pair",
+        tags=("member", "membership", "faults", "vanilla", "ci"),
+        description="vanilla: two servers join back-to-back (t=2 s, t=3 s) "
+                    "under load, growing the cluster from 4 to 6",
+    )(lambda: Scenario.vanilla().servers(4).rate(300)
+      .inject_for(6).drain(50).backend("ideal")
+      .join(2.0).join(3.0))
+
+    # draining leaves ---------------------------------------------------------
+    register_scenario(
+        "member/leave/drain-one",
+        tags=("member", "membership", "faults", "hashchain", "ci"),
+        description="hashchain: server-3 drains out at t=3 s — stops "
+                    "accepting, flushes its collector, hands off its batch "
+                    "store, and retires (distinct from a crash)",
+    )(lambda: Scenario.hashchain().servers(5).rate(400).collector(20)
+      .inject_for(6).drain(50).backend("ideal")
+      .leave(3.0, "server-3"))
+    register_scenario(
+        "member/leave/immediate",
+        tags=("member", "membership", "faults", "hashchain", "ci"),
+        description="hashchain: server-3 leaves at t=3 s without draining "
+                    "(operator-forced removal; in-flight work is abandoned)",
+    )(lambda: Scenario.hashchain().servers(5).rate(400).collector(20)
+      .inject_for(6).drain(50).backend("ideal")
+      .leave(3.0, "server-3", drain=False))
+
+    # elastic reshaping -------------------------------------------------------
+    register_scenario(
+        "member/elastic/grow-then-shrink",
+        tags=("member", "membership", "faults", "hashchain", "ci"),
+        description="hashchain: grow 4 -> 6 (joins at t=1.5 s and t=2.5 s), "
+                    "then drain one original server at t=4 s",
+    )(lambda: Scenario.hashchain().servers(4).rate(400).collector(20)
+      .inject_for(6).drain(50).backend("ideal")
+      .join(1.5).join(2.5).leave(4.0, "server-1"))
+    register_scenario(
+        "member/replace/server",
+        tags=("member", "membership", "faults", "compresschain", "ci"),
+        description="compresschain: a replacement joins at t=2 s, then the "
+                    "server it replaces drains out at t=4 s (rolling swap)",
+    )(lambda: Scenario.compresschain().servers(4).rate(300).collector(20)
+      .inject_for(6).drain(50).backend("ideal")
+      .join(2.0).leave(4.0, "server-0"))
+    register_scenario(
+        "member/replace/validator",
+        tags=("member", "membership", "faults", "validators", "hashchain"),
+        description="CometBFT-backed: the joining server brings a co-located "
+                    "validator (set change activates two blocks later); the "
+                    "drained server retires its validator the same way",
+    )(lambda: Scenario.hashchain().servers(4).rate(200).collector(20)
+      .inject_for(5).drain(45)
+      .join(1.5).leave(3.5, "server-2"))
+
+    # membership mixed with nemeses -------------------------------------------
+    register_scenario(
+        "member/combo/grow-then-partition",
+        tags=("member", "membership", "faults", "partition", "hashchain", "ci"),
+        description="hashchain: a server joins at t=1.5 s, then a random "
+                    "2-server minority of the grown cluster is partitioned "
+                    "away from t=3 s to t=4.5 s",
+    )(lambda: Scenario.hashchain().servers(4).rate(400).collector(20)
+      .inject_for(6).drain(50).backend("ideal")
+      .join(1.5).partition(3.0, until=4.5, count=2, role="servers"))
+    register_scenario(
+        "member/budget/join-before-crash",
+        tags=("member", "membership", "faults", "crash", "byzantine",
+              "hashchain", "ci"),
+        description="legal only because the join lands first: at n=4 a "
+                    "Byzantine window plus a crash would bust f=1, but the "
+                    "t=1 s join makes n=5 (f=2) before either starts",
+    )(lambda: Scenario.hashchain().servers(4).rate(300).collector(20)
+      .inject_for(6).drain(50).backend("ideal")
+      .join(1.0)
+      .become_byzantine(2.0, "server-1", behaviour="withhold", until=4.0)
+      .crash(2.5, "server-2", until=3.5))
+    register_scenario(
+        "member/byz/join-covers-byzantine",
+        tags=("member", "membership", "faults", "byzantine", "hashchain",
+              "ci"),
+        description="a joined server restores quorum headroom while an "
+                    "original server equivocates (t=2.5-4.5 s)",
+    )(lambda: Scenario.hashchain().servers(4).rate(300).collector(20)
+      .inject_for(6).drain(50).backend("ideal")
+      .join(1.0)
+      .become_byzantine(2.5, "server-3", behaviour="equivocate", until=4.5))
+
+    # service-shaped and smoke ------------------------------------------------
+    register_scenario(
+        "member/service/elastic",
+        tags=("member", "membership", "service", "faults", "hashchain"),
+        description="elastic service drill: start at n=4, join two servers "
+                    "under load (t=2 s, t=4 s), drain one original at "
+                    "t=8 s; also runs under `repro serve`",
+    )(lambda: Scenario.hashchain().servers(4).rate(300).collector(25)
+      .inject_for(10).drain(80).backend("ideal")
+      .join(2.0).join(4.0).leave(8.0, "server-2"))
+    register_scenario(
+        "member/smoke",
+        tags=("member", "membership", "faults", "ci"),
+        description="small 4-server hashchain over the ideal ledger: one "
+                    "join then one draining leave; ~seconds",
+    )(lambda: Scenario.hashchain().servers(4).rate(200).collector(20)
+      .inject_for(5).drain(40).backend("ideal")
+      .join(1.0).leave(3.0, "server-1"))
+
+
+_register_member()
 
 
 # -- small, fast scenarios ----------------------------------------------------

@@ -262,6 +262,33 @@ def _cmd_report(args: argparse.Namespace) -> int:
              "invalid appended", "invalid refused", "equivocations",
              "suppressed"],
             byz_rows, title="byzantine attribution (adversarial runs)"))
+    elastic = [r for r in results if r.membership]
+    if elastic:
+        member_rows = []
+        for result in elastic:
+            block = result.membership
+            assert block is not None
+            current = block.get("current", {})
+            catch_ups = [entry["catch_up_s"]
+                         for entry in block.get("joins", [])
+                         if entry.get("catch_up_s") is not None]
+            first_commits = [entry["join_to_first_commit_s"]
+                             for entry in block.get("joins", [])
+                             if entry.get("join_to_first_commit_s") is not None]
+            member_rows.append([
+                result.label,
+                len(block.get("epochs", [])),
+                len(block.get("joins", [])),
+                len(block.get("leaves", [])),
+                f"{current.get('size', 0)} (q={current.get('quorum', 0)})",
+                "-" if not catch_ups else f"{max(catch_ups):.2f}",
+                "-" if not first_commits else f"{max(first_commits):.2f}",
+            ])
+        print()
+        print(render_table(
+            ["scenario", "epochs", "joins", "leaves", "final n",
+             "catch-up (s)", "join→commit (s)"],
+            member_rows, title="membership (elastic runs)"))
     return 0
 
 

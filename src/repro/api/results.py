@@ -100,6 +100,11 @@ class RunResult:
     #: counters); ``None`` — and absent from the JSON artifact — for
     #: fault-free runs, keeping their artifacts byte-identical.
     faults: dict[str, Any] | None = None
+    #: Membership timeline (epochs with per-epoch f/quorum, joins with
+    #: catch-up and join-to-first-commit times, leaves with drain outcomes);
+    #: ``None`` — and absent from the JSON artifact — for runs whose
+    #: membership never changed, keeping their artifacts byte-identical.
+    membership: dict[str, Any] | None = None
     schema_version: int = SCHEMA_VERSION
 
     # -- construction ----------------------------------------------------------
@@ -125,6 +130,7 @@ class RunResult:
             throughput_values=result.throughput.values,
             regions=result.metrics.region_summary(),
             faults=result.faults,
+            membership=result.membership,
         )
 
     # -- derived views ---------------------------------------------------------
@@ -184,6 +190,9 @@ class RunResult:
         if data["faults"] is None:
             # Same contract for fault-free runs vs the pre-faults schema.
             del data["faults"]
+        if data["membership"] is None:
+            # And for static-membership runs vs the pre-membership schema.
+            del data["membership"]
         return data
 
     @classmethod
@@ -205,8 +214,8 @@ class RunResult:
         unknown = sorted(set(payload) - known)
         if unknown:
             raise ConfigurationError(f"unknown RunResult fields: {unknown}")
-        missing = sorted(known - {"schema_version", "regions", "faults"}
-                         - set(payload))
+        missing = sorted(known - {"schema_version", "regions", "faults",
+                                  "membership"} - set(payload))
         if missing:
             raise ConfigurationError(f"missing RunResult fields: {missing}")
         faults = payload.get("faults")
@@ -216,6 +225,13 @@ class RunResult:
                     "malformed RunResult faults: expected a resilience-report "
                     "object")
             payload["faults"] = dict(faults)
+        membership = payload.get("membership")
+        if membership is not None:
+            if not isinstance(membership, Mapping):
+                raise ConfigurationError(
+                    "malformed RunResult membership: expected a membership-"
+                    "timeline object")
+            payload["membership"] = dict(membership)
         regions = payload.get("regions")
         if regions is not None and (
                 not isinstance(regions, Mapping)

@@ -209,6 +209,49 @@ class Session:
         self.deployment.become_correct(name)
         return self
 
+    # -- dynamic membership ------------------------------------------------------
+
+    def add_server(self, name: str | None = None, *,
+                   algorithm: str | None = None,
+                   region: str | None = None) -> str:
+        """Join a server mid-run: build, state-transfer, admit once caught up.
+
+        Returns the new server's name (auto-assigned along the
+        ``server-<i>`` sequence when ``name`` is None).  On the CometBFT
+        backend a co-located validator joins the consensus set, activating
+        two blocks later.
+        """
+        self._require_started()
+        server = self.deployment.add_server(name=name, algorithm=algorithm,
+                                            region=region)
+        return server.name
+
+    def remove_server(self, name: str, *, drain: bool = True) -> "Session":
+        """Retire a server cleanly: drain, hand off obligations, depart."""
+        self._require_started()
+        self.deployment.remove_server(name, drain=drain)
+        return self
+
+    def add_validator(self, name: str | None = None) -> str:
+        """Grow the consensus layer by one (app-less) validator; returns
+        its name.  Requires a backend with a validator set (CometBFT)."""
+        self._require_started()
+        return self.deployment.add_validator(name)
+
+    def remove_validator(self, name: str) -> "Session":
+        """Shrink the consensus layer by one validator (two-block delay).
+
+        Refused while the validator still feeds a Setchain server — remove
+        the server instead.
+        """
+        self._require_started()
+        self.deployment.remove_validator(name)
+        return self
+
+    def membership(self) -> dict | None:
+        """The membership timeline so far (None for static deployments)."""
+        return self.deployment.membership_report()
+
     def byzantine_nodes(self) -> list[str]:
         """Names of currently Byzantine servers, sorted."""
         return sorted(server.name for server in self.deployment.servers

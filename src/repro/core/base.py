@@ -111,6 +111,26 @@ class BaseSetchainServer(NetworkNode, Application):
         #: not serve at detach time because the server was crash-faulted;
         #: replayed by :meth:`_on_recover`.
         self._deferred_request_replays: list = []
+        # Dynamic membership (None in static deployments — every check below
+        # is a flag test, so membership-free runs stay byte-identical).
+        self._membership = None  # type: ignore[assignment]
+        #: Height of the last block this server finalized; keys the current
+        #: quorum when membership changes mid-run.
+        self._last_seen_height = 0
+        #: True while a joined server replays the chain and catches up; it
+        #: does not publish proofs or hash-batches until caught up.
+        self.bootstrapping = False
+        #: True while a leaving server flushes its pipeline before retiring.
+        self.draining = False
+        #: True once the server has retired from the cluster for good.
+        self.departed = False
+        #: Client adds refused because the server was draining or departed.
+        self.drained_rejects = 0
+        #: Simulated time the server retired (``None`` while a member).
+        self.retired_at: float | None = None
+        #: Simulated time this server first observed an f+1 epoch commit
+        #: (drives the join-to-first-commit metric for joined servers).
+        self.first_commit_at: float | None = None
 
     # -- wiring ----------------------------------------------------------------
 
@@ -129,6 +149,47 @@ class BaseSetchainServer(NetworkNode, Application):
 
     def start(self) -> None:
         """Hook for subclasses that need startup work (default: none)."""
+
+    # -- dynamic membership --------------------------------------------------------
+
+    def attach_membership(self, log) -> None:
+        """Track quorum changes through a :class:`~repro.core.membership.MembershipLog`."""
+        self._membership = log
+
+    @property
+    def current_quorum(self) -> int:
+        """The f+1 quorum governing the last block this server processed."""
+        if self._membership is None:
+            return self.config.quorum
+        return self._membership.quorum_at_height(self._last_seen_height)
+
+    def _quorum_at(self, height: int) -> int:
+        """The quorum in force at ledger ``height``."""
+        if self._membership is None:
+            return self.config.quorum
+        return self._membership.quorum_at_height(height)
+
+    def begin_bootstrap(self) -> None:
+        """Enter catch-up mode: process blocks but publish nothing."""
+        self.bootstrapping = True
+
+    def end_bootstrap(self) -> None:
+        """Caught up: start publishing proofs and counting toward quorums."""
+        self.bootstrapping = False
+
+    def begin_drain(self) -> None:
+        """Stop accepting elements; keep processing blocks until retired."""
+        self.draining = True
+
+    def retire(self) -> None:
+        """Leave the cluster cleanly (distinct from a crash: no replay later)."""
+        self.departed = True
+        self.draining = False
+        self.retired_at = self.sim.now
+        self._work.clear()
+        self._missed_blocks.clear()
+        self._busy = False
+        self._pipeline_run += 1  # orphan any queued continuation
 
     # -- Byzantine behaviour strategies -------------------------------------------
 
@@ -205,6 +266,9 @@ class BaseSetchainServer(NetworkNode, Application):
         """
         if self.crashed:
             self.crashed_rejects += 1
+            return False
+        if self.draining or self.departed:
+            self.drained_rejects += 1
             return False
         if not valid_element(element):
             self.rejected_elements += 1
@@ -302,12 +366,34 @@ class BaseSetchainServer(NetworkNode, Application):
             self._proofs.add(proof)
             signers = self._proof_signers.setdefault(proof.epoch_number, set())
             signers.add(proof.signer)
-            if (len(signers) >= self.config.quorum
+            if (len(signers) >= self.current_quorum
                     and proof.epoch_number not in self._committed_epochs):
                 self._committed_epochs.add(proof.epoch_number)
+                if self.first_commit_at is None:
+                    self.first_commit_at = self.sim.now
                 if self.metrics is not None and elements is not None:
                     self.metrics.record_epoch_committed(
                         proof.epoch_number, elements, self.sim.now, observer=self.name)
+
+    def _on_quorum_change(self, quorum: int, block: Block) -> None:
+        """React to a membership epoch boundary changing the f+1 quorum.
+
+        A *decreased* quorum can make previously sub-threshold epochs commit
+        retroactively: re-evaluate the signer counts already on hand.
+        Subclasses extend this (Hashchain re-checks its consolidation
+        trigger).  Never called in membership-free runs.
+        """
+        for epoch_number, signers in self._proof_signers.items():
+            if (len(signers) >= quorum
+                    and epoch_number not in self._committed_epochs
+                    and epoch_number in self._history):
+                self._committed_epochs.add(epoch_number)
+                if self.first_commit_at is None:
+                    self.first_commit_at = self.sim.now
+                if self.metrics is not None:
+                    self.metrics.record_epoch_committed(
+                        epoch_number, self._history[epoch_number],
+                        self.sim.now, observer=self.name)
 
     def _append_to_ledger(self, payload: object, size_bytes: int) -> Transaction:
         """``L.append`` with bookkeeping of the originating server."""
@@ -331,9 +417,22 @@ class BaseSetchainServer(NetworkNode, Application):
         re-synchronisation (Hashchain's ``Request_batch`` hash reversal,
         Compresschain's decompression) end to end.
         """
+        if self.departed:
+            return
         if self.crashed:
             self._missed_blocks.append(block)
             return
+        if self._membership is not None:
+            previous = self._membership.quorum_at_height(self._last_seen_height)
+            self._last_seen_height = max(self._last_seen_height, block.height)
+            quorum = self._membership.quorum_at_height(self._last_seen_height)
+            if quorum != previous:
+                # Queued, not applied here: the retro scans in
+                # _on_quorum_change must observe the same processed-
+                # transaction prefix on every server, so the boundary rides
+                # the serial pipeline ahead of this block's transactions
+                # instead of firing while the pipeline may still lag.
+                self._work.append(("quorum", block, None))
         self.blocks_processed += 1
         for tx in block.transactions:
             self._work.append(("tx", block, tx))
@@ -355,6 +454,9 @@ class BaseSetchainServer(NetworkNode, Application):
         if kind == "tx":
             assert tx is not None
             self._handle_tx(block, tx)
+        elif kind == "quorum":
+            self._on_quorum_change(self._quorum_at(block.height), block)
+            self._finish_after(0.0)
         else:
             byz = self._byz
             if byz is None or not byz.on_block_end(self, block):

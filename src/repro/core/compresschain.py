@@ -107,9 +107,16 @@ class CompresschainServer(BaseSetchainServer):
         if new_epoch:
             proof = self._byz_outgoing_proof(
                 self._record_new_epoch(set(new_epoch.values()), block))
-            if proof is not None:
+            if proof is not None and not self.bootstrapping:
                 self.add_to_batch(proof)
         self._finish_after(duration)
+
+    # -- membership lifecycle ------------------------------------------------------
+
+    def begin_drain(self) -> None:
+        """Flush the collector so no accepted element is stranded in memory."""
+        super().begin_drain()
+        self.collector.flush_now()
 
     # -- crash faults ------------------------------------------------------------
 

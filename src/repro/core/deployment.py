@@ -38,8 +38,13 @@ from ..topology.plugins import (
 from ..workload.clients import ClientPool
 from ..workload.elements import Element
 from .base import BaseSetchainServer
+from .membership import MembershipLog
 from .properties import check_all
 from .types import SetchainView
+
+#: How often (simulated seconds) join/leave transitions re-check whether a
+#: bootstrapping server has caught up or a draining server has emptied.
+_MEMBERSHIP_POLL = 0.25
 
 
 @dataclass
@@ -59,6 +64,15 @@ class Deployment:
     region_of: dict[str, str] = field(default_factory=dict)
     #: Executes ``config.faults``; ``None`` for fault-free runs.
     fault_injector: FaultInjector | None = None
+    #: Build-time context, kept so runtime joins can run algorithm factories.
+    context: DeploymentContext | None = None
+    #: Server-set membership epochs.  Always built (one initial epoch); the
+    #: servers only start consulting it once the first join/leave happens, so
+    #: static runs never touch the membership hot paths.
+    membership: MembershipLog | None = None
+    #: Servers that left the cluster (kept for reporting, not for checks).
+    departed_servers: list[BaseSetchainServer] = field(default_factory=list)
+    _next_server_index: int = field(default=0, init=False, repr=False)
     _started: bool = field(default=False, init=False, repr=False)
     _stopped: bool = field(default=False, init=False, repr=False)
 
@@ -177,9 +191,17 @@ class Deployment:
         groups = (self.algorithm_groups()
                   if self.config.is_heterogeneous else None)
         faulty = self.byzantine_servers()
+        still_bootstrapping = {server.name for server in self.servers
+                               if server.bootstrapping}
         views = {name: view for name, view in self.views().items()
-                 if name not in faulty}
-        return check_all(views, quorum=self.config.setchain.quorum,
+                 if name not in faulty and name not in still_bootstrapping}
+        quorum = self.config.setchain.quorum
+        if self.membership is not None and self.membership.changed:
+            # Epochs committed under an earlier (smaller) membership carry
+            # that epoch's quorum of proofs; check against the weakest quorum
+            # any epoch used.  Static runs never take this branch.
+            quorum = min(quorum, self.membership.min_quorum())
+        return check_all(views, quorum=quorum,
                          all_added=self.injected_elements,
                          include_liveness=include_liveness, groups=groups)
 
@@ -259,6 +281,282 @@ class Deployment:
     def become_correct(self, name: str) -> None:
         """Shed a server's Byzantine behaviour (idempotent)."""
         self._server_named(name).become_correct()
+
+    # -- dynamic membership -----------------------------------------------------
+
+    def _backend_height(self) -> int:
+        """The ledger's current committed height, backend-agnostic."""
+        height = getattr(self.ledger_backend, "height", None)
+        if height is not None:
+            return int(height)
+        min_height = getattr(self.ledger_backend, "min_committed_height", None)
+        if min_height is not None:
+            return int(min_height())
+        return 0
+
+    def _require_membership(self) -> MembershipLog:
+        if self.membership is None:
+            raise NetworkError("this deployment has no membership log")
+        return self.membership
+
+    def _activate_membership(self) -> MembershipLog:
+        """Wire every server to the membership log (first change only)."""
+        log = self._require_membership()
+        for server in self.servers:
+            server.attach_membership(log)
+        return log
+
+    def _active_peers(self, group: str, exclude: str) -> list[BaseSetchainServer]:
+        """Live, caught-up servers of ``group`` other than ``exclude``."""
+        return [server for server in self.servers
+                if server.name != exclude and server.algorithm_group() == group
+                and not server.crashed and not server.bootstrapping
+                and not server.draining and not server.departed]
+
+    def add_server(self, name: str | None = None, algorithm: str | None = None,
+                   region: str | None = None) -> BaseSetchainServer:
+        """Join a server at runtime: build, state-transfer, then admit.
+
+        The joiner bootstraps by replaying the committed chain (the same
+        replay path crash recovery uses) with its batch store primed from a
+        live peer; it counts toward f+1 quorums only once caught up, at which
+        point a membership epoch activating two blocks later is appended.
+        With the CometBFT backend a new co-located validator joins the
+        validator set the same way.
+        """
+        if not self._started or self._stopped:
+            raise NetworkError("joins need a started, not-yet-stopped deployment")
+        if self.context is None:
+            raise NetworkError("this deployment was not built for runtime joins")
+        log = self._activate_membership()
+        if name is None:
+            name = f"server-{self._next_server_index}"
+        if name in self.network or any(s.name == name for s in self.servers):
+            raise NetworkError(f"a node named {name!r} already exists")
+        self._next_server_index += 1
+        if algorithm is None:
+            algorithm = self.config.algorithm
+        keypair = self.scheme.generate_keypair(
+            name, deployment_seed=self.config.workload.seed)
+        server = get_algorithm(algorithm)(self.context, name, keypair)
+        self.network.register(server)
+        # Ledger hookup: a fresh co-located validator (CometBFT) or a fresh
+        # sequencer handle (ideal/sqlite).
+        add_validator = getattr(self.ledger_backend, "add_validator", None)
+        if add_validator is not None:
+            ledger_node = add_validator()
+            handle = ledger_node
+            committed = list(ledger_node.committed_blocks)
+            if region is not None and isinstance(self.network.latency,
+                                                RegionalLatency):
+                self.network.latency.region_of[ledger_node.name] = region
+        else:
+            handle = self.ledger_backend.handle_for(name)  # type: ignore[attr-defined]
+            committed = list(self.ledger_backend.blocks)  # type: ignore[attr-defined]
+        server.connect_ledger(handle)
+        if region is not None:
+            self.region_of[name] = region
+            if isinstance(self.network.latency, RegionalLatency):
+                self.network.latency.region_of[name] = region
+        server.attach_membership(log)
+        server.begin_bootstrap()
+        server.start()
+        self.servers.append(server)
+        # State transfer, stage 1: prime the batch store from a live peer so
+        # the replay resolves hashes locally instead of storming the donors
+        # with Request_batch traffic (the sqlite restart-resume treatment).
+        store = getattr(server, "store", None)
+        if store is not None:
+            donors = self._active_peers(server.algorithm_group(), name)
+            if donors:
+                for digest, items in donors[0].store.items():
+                    store.register_remote(digest, items)
+        # State transfer, stage 2: replay the committed chain through the
+        # normal FinalizeBlock path (crash recovery's replay, from genesis).
+        for block in committed:
+            server.finalize_block(block)
+        join_record_at = self.sim.now
+
+        def _check_caught_up() -> None:
+            if server.departed:
+                return  # left again before ever catching up
+            pending = getattr(server, "_pending", None)
+            if server.backlog == 0 and not server._busy and pending is None:
+                server.end_bootstrap()
+                epoch = log.join(name, at=join_record_at,
+                                 effective_height=self._backend_height() + 2)
+                log.joins[-1].caught_up_at = self.sim.now
+                for member in self.servers:
+                    member.attach_membership(log)
+                del epoch
+                return
+            self.sim.call_in(_MEMBERSHIP_POLL, _check_caught_up)
+
+        self.sim.call_in(_MEMBERSHIP_POLL, _check_caught_up)
+        return server
+
+    def remove_server(self, name: str, drain: bool = True) -> None:
+        """Leave: drain the server's obligations, then retire it cleanly.
+
+        Draining stops new adds immediately, flushes the collector, keeps
+        processing blocks until the pipeline and any in-flight Request_batch
+        are empty, hands the batch store off to live peers (so pending
+        hash-reversal obligations stay servable), and only then retires the
+        server — distinct from a crash, which drops all of that on the floor.
+        ``drain=False`` retires immediately (an impatient operator).
+        """
+        log = self._activate_membership()
+        server = next((s for s in self.servers if s.name == name), None)
+        if server is None:
+            raise NetworkError(f"no Setchain server named {name!r} to remove")
+        if len(self.servers) <= 1:
+            raise NetworkError("cannot remove the last server")
+        # With CometBFT, the co-located validator leaves the set now (two-
+        # block activation); the node keeps validating until then.
+        ledger_node = server._ledger
+        remove_validator = getattr(self.ledger_backend, "remove_validator", None)
+        node_name = getattr(ledger_node, "name", None)
+        nodes = getattr(self.ledger_backend, "nodes", None)
+        colocated = (remove_validator is not None and nodes is not None
+                     and node_name in nodes)
+        if colocated:
+            remove_validator(node_name)
+        if not drain:
+            self._retire_server(server, drained=False)
+            return
+        server.begin_drain()
+
+        def _check_drained() -> None:
+            if server.departed:
+                return  # crashed-and-removed or retired through another path
+            pending = getattr(server, "_pending", None)
+            collector = getattr(server, "collector", None)
+            collector_empty = collector is None or not collector.pending_view()
+            if (server.backlog == 0 and not server._busy and pending is None
+                    and collector_empty):
+                self._retire_server(server, drained=True)
+                return
+            self.sim.call_in(_MEMBERSHIP_POLL, _check_drained)
+
+        self.sim.call_in(_MEMBERSHIP_POLL, _check_drained)
+
+    def _retire_server(self, server: BaseSetchainServer, drained: bool) -> None:
+        log = self._require_membership()
+        # Hand off Request_batch obligations: every batch only this server
+        # holds is copied to the live peers of its group before it goes away.
+        store = getattr(server, "store", None)
+        if store is not None:
+            peers = self._active_peers(server.algorithm_group(), server.name)
+            for digest, items in store.items():
+                for peer in peers:
+                    peer_store = getattr(peer, "store", None)
+                    if peer_store is not None and digest not in peer_store:
+                        peer_store.register_remote(digest, items)
+        server.retire()
+        self.network.unregister(server.name)
+        self.servers.remove(server)
+        self.departed_servers.append(server)
+        log.leave(server.name, at=self.sim.now,
+                  effective_height=self._backend_height() + 2, drained=drained)
+        log.leaves[-1].retired_at = self.sim.now
+        for member in self.servers:
+            member.attach_membership(log)
+        retire_node = getattr(self.ledger_backend, "retire_node", None)
+        nodes = getattr(self.ledger_backend, "nodes", None)
+        node_name = getattr(server._ledger, "name", None)
+        if retire_node is not None and nodes is not None and node_name in nodes:
+            retire_node(node_name)
+
+    def add_validator(self, name: str | None = None) -> str:
+        """Grow the consensus layer by one (app-less) validator."""
+        add = getattr(self.ledger_backend, "add_validator", None)
+        if add is None:
+            raise NetworkError(
+                f"ledger backend {self.config.ledger_backend!r} has no "
+                "validator set to grow")
+        return add(name).name
+
+    def remove_validator(self, name: str) -> None:
+        """Shrink the consensus layer by one validator (two-block delay).
+
+        Refused while the validator still feeds a Setchain server — remove
+        the server instead, which retires the co-located validator with it.
+        """
+        remove = getattr(self.ledger_backend, "remove_validator", None)
+        nodes = getattr(self.ledger_backend, "nodes", None)
+        if remove is None or nodes is None:
+            raise NetworkError(
+                f"ledger backend {self.config.ledger_backend!r} has no "
+                "validator set to shrink")
+        node = nodes.get(name)
+        if node is None:
+            raise NetworkError(f"unknown validator {name!r}")
+        if node.app is not None:
+            raise NetworkError(
+                f"validator {name!r} still serves a Setchain server; remove "
+                "the server instead")
+        effective = remove(name)
+        retire = getattr(self.ledger_backend, "retire_node", None)
+
+        def _check_inactive() -> None:
+            if name not in nodes:
+                return
+            if self._backend_height() >= effective:
+                if retire is not None:
+                    retire(name)
+                return
+            self.sim.call_in(_MEMBERSHIP_POLL, _check_inactive)
+
+        self.sim.call_in(_MEMBERSHIP_POLL, _check_inactive)
+
+    def membership_report(self) -> dict | None:
+        """The ``RunResult.membership`` block; ``None`` for static runs."""
+        log = self.membership
+        if log is None or not log.changed:
+            return None
+        by_name = {server.name: server
+                   for server in list(self.servers) + self.departed_servers}
+        joins = []
+        for record in log.joins:
+            entry: dict = {"node": record.node, "at": record.at,
+                           "effective_height": record.effective_height}
+            if record.caught_up_at is not None:
+                entry["caught_up_at"] = record.caught_up_at
+                entry["catch_up_s"] = record.caught_up_at - record.at
+            server = by_name.get(record.node)
+            if server is not None and server.first_commit_at is not None:
+                first = server.first_commit_at
+                entry["first_commit_at"] = first
+                entry["join_to_first_commit_s"] = max(0.0, first - record.at)
+            joins.append(entry)
+        leaves = []
+        for record in log.leaves:
+            entry = {"node": record.node, "at": record.at,
+                     "effective_height": record.effective_height,
+                     "drained": record.drained}
+            if record.retired_at is not None:
+                entry["retired_at"] = record.retired_at
+            server = by_name.get(record.node)
+            if server is not None:
+                entry["drained_rejects"] = server.drained_rejects
+            leaves.append(entry)
+        current = log.current
+        report = {
+            "epochs": [epoch.to_dict() for epoch in log.epochs],
+            "joins": joins,
+            "leaves": leaves,
+            "current": {"epoch": current.index,
+                        "members": list(current.members),
+                        "size": len(current.members),
+                        "f": current.f,
+                        "quorum": current.quorum},
+        }
+        validators = getattr(self.ledger_backend, "validators", None)
+        if validators is not None and validators.version:
+            report["validator_epochs"] = [
+                {"effective_height": height, "members": list(members)}
+                for height, members in validators.epochs()]
+        return report
 
 
 def build_latency(config: ExperimentConfig) -> LatencyModel:
@@ -353,10 +651,14 @@ def build_deployment(config: ExperimentConfig, seed: int | None = None) -> Deplo
     clients = ClientPool(sim, targets=list(servers), workload=config.workload,
                          on_element=on_element)
 
+    membership = MembershipLog([server.name for server in servers],
+                               explicit_f=config.setchain.f)
     deployment = Deployment(config=config, sim=sim, network=network, scheme=scheme,
                             servers=servers, clients=clients, metrics=metrics,
                             ledger_backend=ledger_backend, injected_elements=injected,
-                            region_of=region_of)
+                            region_of=region_of, context=context,
+                            membership=membership)
+    deployment._next_server_index = n
     if config.faults is not None and config.faults.events:
         # Construction only derives an RNG stream (no draws) and allocates
         # timers at start(); fault-free runs never reach here, so their

@@ -275,6 +275,13 @@ class HashchainServer(BaseSetchainServer):
     def _append_own_hash_batch(self, digest: str) -> None:
         if digest in self._signed_hashes:
             return
+        if self.bootstrapping:
+            # A catching-up server replays hashes the cluster consolidated
+            # long ago; re-signing them would spam the ledger with stale
+            # hash-batches.  Remember them as handled instead (exactly the
+            # sqlite restart-resume treatment of already-persisted batches).
+            self._signed_hashes.add(digest)
+            return
         signature = self.scheme.sign(self.keypair, hash_batch_payload(digest))
         hb = HashBatch(batch_hash=digest, signature=signature, signer=self.name)
         self._signed_hashes.add(digest)
@@ -303,7 +310,8 @@ class HashchainServer(BaseSetchainServer):
         # crashed peers); the epoch itself fills in _try_fill_epochs.
         signers = self.hash_to_signers.setdefault(digest, set())
         signers.add(payload.signer)
-        if len(signers) >= self.config.quorum and digest not in self._consolidated:
+        if (len(signers) >= self._quorum_at(block.height)
+                and digest not in self._consolidated):
             self._consolidated.add(digest)
             self._fill_queue.append(digest)
             self._fill_meta[digest] = block
@@ -388,8 +396,41 @@ class HashchainServer(BaseSetchainServer):
             if fresh:
                 proof = self._byz_outgoing_proof(
                     self._record_new_epoch(set(fresh.values()), block))
-                if proof is not None:
+                if proof is not None and not self.bootstrapping:
                     self.add_to_batch(proof)
+
+    # -- membership lifecycle ------------------------------------------------------
+
+    def begin_drain(self) -> None:
+        """Flush the collector so no accepted element is stranded in memory."""
+        super().begin_drain()
+        self.collector.flush_now()
+
+    def retire(self) -> None:
+        """Also tear down the in-flight request and retry machinery."""
+        super().retire()
+        self._request_timer.cancel()
+        self._pending = None
+        self._unresolved.clear()
+
+    def _on_quorum_change(self, quorum: int, block: Block) -> None:
+        """A shrunk quorum can retro-trigger consolidation of known hashes.
+
+        Hashes that had gathered signers under the old (higher) quorum are
+        re-examined in ledger observation order — insertion order of
+        ``hash_to_signers`` — so every correct server queues the same hashes
+        in the same order at the same epoch boundary.
+        """
+        super()._on_quorum_change(quorum, block)
+        triggered = False
+        for digest, signers in self.hash_to_signers.items():
+            if len(signers) >= quorum and digest not in self._consolidated:
+                self._consolidated.add(digest)
+                self._fill_queue.append(digest)
+                self._fill_meta[digest] = block
+                triggered = True
+        if triggered:
+            self._try_fill_epochs()
 
     # -- crash faults ------------------------------------------------------------
 

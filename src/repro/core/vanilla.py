@@ -73,7 +73,7 @@ class VanillaServer(BaseSetchainServer):
         for element in new_epoch:
             self._add_to_the_set(element)
         proof = self._byz_outgoing_proof(self._record_new_epoch(new_epoch, block))
-        if proof is not None:
+        if proof is not None and not self.bootstrapping:
             self._append_to_ledger(proof, EPOCH_PROOF_SIZE)
 
     # -- crash faults ------------------------------------------------------------

@@ -59,6 +59,8 @@ class ExperimentResult:
     analytical_throughput: float
     #: Resilience report from the fault injector; ``None`` for fault-free runs.
     faults: dict | None = None
+    #: Membership timeline (epochs, joins, leaves); ``None`` for static runs.
+    membership: dict | None = None
 
     @property
     def label(self) -> str:
@@ -130,6 +132,7 @@ def package_result(deployment: Deployment, scale: float = 1.0) -> ExperimentResu
         analytical_throughput=analytical_reference(effective),
         faults=(deployment.fault_injector.report()
                 if deployment.fault_injector is not None else None),
+        membership=deployment.membership_report(),
     )
 
 

@@ -5,8 +5,9 @@ The :mod:`repro.faults` package turns the network's raw test hooks
 
 * :mod:`repro.faults.events` — the typed fault-event DSL (``Partition``,
   ``Heal``, ``Crash``, ``Recover``, ``MessageLoss``, ``Duplicate``,
-  ``DelaySpike``, ``Churn``, and the Byzantine nemeses ``BecomeByzantine``/
-  ``BecomeCorrect``) with :class:`Targets` selectors;
+  ``DelaySpike``, ``Churn``, the Byzantine nemeses ``BecomeByzantine``/
+  ``BecomeCorrect``, and the membership events ``Join``/``Leave``) with
+  :class:`Targets` selectors;
 * :class:`FaultScheduleConfig` — the frozen, serialisable timeline carried by
   :class:`~repro.config.ExperimentConfig`;
 * :class:`FaultInjector` — executes a schedule from simulator timers and
@@ -36,6 +37,8 @@ from .events import (
     Duplicate,
     FaultEvent,
     Heal,
+    Join,
+    Leave,
     MessageLoss,
     Partition,
     Recover,
@@ -62,6 +65,8 @@ __all__ = [
     "FaultScheduleConfig",
     "DEFAULT_AVAILABILITY_WINDOW",
     "Heal",
+    "Join",
+    "Leave",
     "MessageLoss",
     "Partition",
     "Recover",

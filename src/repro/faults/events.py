@@ -33,6 +33,16 @@ into nemeses, so chaos timelines mix crash and Byzantine faults:
                      servers, reverting at ``until`` when set
 ``become-correct``   explicitly shed the targeted servers' behaviours
 =================== ============================================================
+
+Two membership kinds make the node set itself dynamic — a deliberate
+join/leave is a scheduled reconfiguration, not a fault window:
+
+=========== ====================================================================
+``join``    admit a new server (bootstrapped via state transfer) or validator;
+            it counts toward quorums only once caught up
+``leave``   retire nodes cleanly: drain, hand off obligations, then depart —
+            distinct from a crash (no recovery, quorums shrink)
+=========== ====================================================================
 """
 
 from __future__ import annotations
@@ -467,6 +477,82 @@ class BecomeCorrect(FaultEvent):
         for name in names:
             ctx.force_correct(name)
         ctx.record(self.kind, targets=names)
+
+
+@register_fault("join")
+@dataclass(frozen=True, kw_only=True)
+class Join(FaultEvent):
+    """Admit a new node at ``at``: state transfer, then epoch-aware quorums.
+
+    With ``role="servers"`` (the default) a fresh Setchain server is built,
+    bootstrapped from a live peer (ledger block-sync plus batch-store
+    priming), and admitted to the membership log once caught up; on a
+    CometBFT backend the server's co-located validator joins the consensus
+    set too, activating two blocks later as in real Tendermint.  With
+    ``role="validators"`` only a consensus node is added.  ``node`` names the
+    newcomer explicitly; by default names continue the deployment's
+    ``server-<i>`` / ``cometbft-<i>`` sequences deterministically.
+    """
+
+    node: str | None = None
+    role: str = "servers"
+    region: str | None = None
+    algorithm: str | None = None
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.role not in ("servers", "validators"):
+            raise ConfigurationError(
+                f"join role must be 'servers' or 'validators', got {self.role!r}")
+        if self.until is not None:
+            raise ConfigurationError("join is instantaneous; it takes no until")
+
+    def apply(self, ctx: "FaultContext") -> None:
+        name = ctx.join(node=self.node, role=self.role, region=self.region,
+                        algorithm=self.algorithm)
+        ctx.record(self.kind, targets=[name],
+                   note=f"role={self.role}" + (
+                       f" region={self.region}" if self.region else ""))
+
+
+@register_fault("leave")
+@dataclass(frozen=True, kw_only=True)
+class Leave(FaultEvent):
+    """Retire the targeted nodes at ``at`` — a clean departure, not a crash.
+
+    With ``drain=True`` (the default) each server first stops accepting new
+    elements, flushes its collector, waits out its pending ``Request_batch``
+    obligations, hands its batch store off to the surviving peers, and only
+    then leaves the membership; ``drain=False`` retires it immediately (the
+    store handoff still happens — the node departs politely either way).
+    Targets that are crashed, still bootstrapping, or already gone are
+    skipped; the last member of the deployment can never leave.
+    """
+
+    _target_fields: ClassVar[tuple[str, ...]] = ("targets",)
+
+    targets: Targets = Targets(role="servers", count=1)
+    drain: bool = True
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.targets.role == "validators":
+            raise ConfigurationError(
+                "leave targets Setchain servers (a co-located validator "
+                "retires with its server); use role='servers'")
+        if self.until is not None:
+            raise ConfigurationError("leave is instantaneous; it takes no until")
+
+    def apply(self, ctx: "FaultContext") -> None:
+        names = [name for name in ctx.live(ctx.resolve(self.targets))
+                 if ctx.can_leave(name)]
+        if not names:
+            ctx.record(self.kind, note="no eligible targets; skipped")
+            return
+        for name in names:
+            ctx.leave(name, drain=self.drain)
+        ctx.record(self.kind, targets=names,
+                   note="drain" if self.drain else "immediate")
 
 
 @register_fault("churn")

@@ -206,6 +206,30 @@ class FaultContext:
         if self.is_server(name):
             self.deployment.become_correct(name)
 
+    # -- membership dispatch -------------------------------------------------------
+
+    def join(self, node: str | None = None, role: str = "servers",
+             region: str | None = None, algorithm: str | None = None) -> str:
+        """Admit a new node; returns its (possibly auto-assigned) name."""
+        if role == "validators":
+            return self.deployment.add_validator(node)
+        server = self.deployment.add_server(name=node, algorithm=algorithm,
+                                            region=region)
+        return server.name
+
+    def can_leave(self, name: str) -> bool:
+        """Whether ``name`` is a server currently eligible to depart."""
+        for server in self.deployment.servers:
+            if server.name == name:
+                return (not server.bootstrapping and not server.draining
+                        and not server.departed
+                        and len(self.deployment.servers) > 1)
+        return False
+
+    def leave(self, name: str, drain: bool = True) -> None:
+        """Retire a server cleanly (drained by default)."""
+        self.deployment.remove_server(name, drain=drain)
+
     # -- partition ownership -----------------------------------------------------
 
     @staticmethod

@@ -23,6 +23,8 @@ from .events import (
     Churn,
     Crash,
     FaultEvent,
+    Join,
+    Leave,
     Targets,
 )
 from .plugins import get_fault
@@ -100,26 +102,23 @@ class FaultScheduleConfig:
 # Enforced only for schedules that turn servers Byzantine: the paper's
 # guarantees assume at most ``f`` faulty (Byzantine or crashed) servers, so a
 # schedule whose worst case reaches the quorum (f + 1) can never honour
-# Properties 1-8 and is rejected at config time.  The analysis is a
-# conservative static over-approximation — random ``count`` selectors are
-# charged their full count against every group they could hit, ``Recover``
-# events are ignored, and overlapping events targeting the same node are
-# summed as if they hit distinct nodes.  Crash-only schedules (e.g. the
-# deliberate beyond-f chaos scenarios) are exempt: exceeding the budget with
-# crashes alone voids liveness only until recovery, which is a legitimate
-# experiment, whereas a Byzantine majority silently voids safety.
+# Properties 1-8 and is rejected at config time.  With dynamic membership the
+# budget is a *step function of time*: a ``Join`` grows ``n`` (and, under the
+# derived tolerance, ``f``) from its ``at`` instant on, and a ``Leave``
+# shrinks them — so the same crash window can be legal after a join and
+# illegal before it.  The analysis is a conservative static
+# over-approximation — random ``count`` selectors are charged their full
+# count against every group they could hit, ``Recover`` events are ignored,
+# overlapping events targeting the same node are summed as if they hit
+# distinct nodes, and joiners are credited at ``at`` even though the runtime
+# admits them only once caught up.  Crash-only schedules (e.g. the deliberate
+# beyond-f chaos scenarios) are exempt: exceeding the budget with crashes
+# alone voids liveness only until recovery, which is a legitimate experiment,
+# whereas a Byzantine majority silently voids safety.
 
 
-def _server_index(name: str) -> int | None:
-    """Parse the deployment's ``server-<i>`` naming; None for other nodes."""
-    prefix, _, suffix = name.partition("-")
-    if prefix == "server" and suffix.isdigit():
-        return int(suffix)
-    return None
-
-
-def _pool_cost(targets: Targets, pool: "set[int]",
-               region_of: "dict[int, str | None]",
+def _pool_cost(targets: Targets, pool: "set[str]",
+               region_of: "dict[str, str | None]",
                count_override: int | None = None) -> int:
     """Worst-case number of servers in ``pool`` a selector can hit at once.
 
@@ -130,17 +129,94 @@ def _pool_cost(targets: Targets, pool: "set[int]",
     Byzantine majority through.
     """
     if targets.nodes:
-        hits = {_server_index(name) for name in targets.nodes}
-        return len(hits & pool)
+        return len(set(targets.nodes) & pool)
     if targets.region is not None:
-        pool = {index for index in pool
-                if region_of.get(index) == targets.region}
+        pool = {name for name in pool
+                if region_of.get(name) == targets.region}
     if targets.role == "validators":
         return 0  # validator faults do not consume the Setchain budget
     count = count_override if count_override is not None else targets.count
     if count is None:
         return len(pool)
     return min(count, len(pool))
+
+
+def _membership_timeline(events: "Sequence[FaultEvent]",
+                         assignments: "Sequence[tuple[str | None, str]]",
+                         region_of: "dict[str, str | None]",
+                         ) -> "list[tuple[float, set[str], dict[str, set[str]], int, dict[str, int], int]]":
+    """Server membership as time-ordered snapshots.
+
+    Each snapshot is ``(time, members, group_pools, unknown_departed,
+    unknown_departed_by_group, departed_total)``.  Joins are credited at
+    their ``at`` along the deployment's deterministic ``server-<i>`` naming
+    sequence; explicitly-named leaves remove exact names, while random
+    ``count`` leaves depart *unknown* members — the effective size shrinks
+    (the ``unknown`` counters) but no name is removed from the cost pools,
+    so later events are charged against the larger pool, the conservative
+    direction.
+    """
+    members = {f"server-{index}" for index in range(len(assignments))}
+    groups: dict[str, set[str]] = {}
+    for index, (_region, algorithm) in enumerate(assignments):
+        groups.setdefault(algorithm, set()).add(f"server-{index}")
+    algorithms = {algorithm for _region, algorithm in assignments}
+    default_group = algorithms.pop() if len(algorithms) == 1 else None
+
+    membership_events = sorted(
+        ((event.at, position, event) for position, event in enumerate(events)
+         if (isinstance(event, Join) and event.role == "servers")
+         or isinstance(event, Leave)),
+        key=lambda entry: (entry[0], entry[1]))
+
+    unknown_total = 0
+    unknown_by_group: dict[str, int] = {}
+    departed = 0
+    snapshots = [(0.0, set(members),
+                  {group: set(pool) for group, pool in groups.items()},
+                  0, {}, 0)]
+    next_index = len(assignments)
+    for at, _position, event in membership_events:
+        if isinstance(event, Join):
+            name = event.node if event.node is not None \
+                else f"server-{next_index}"
+            next_index += 1  # the deployment's counter bumps unconditionally
+            members.add(name)
+            region_of.setdefault(name, event.region)
+            group = event.algorithm or default_group
+            if group is not None:
+                groups.setdefault(group, set()).add(name)
+        else:
+            targets = event.targets
+            if targets.nodes:
+                named = set(targets.nodes) & members
+                members -= named
+                for pool in groups.values():
+                    pool -= named
+                departed += len(named)
+            else:
+                cost = _pool_cost(targets, members, region_of)
+                unknown_total += cost
+                departed += cost
+                for group, pool in groups.items():
+                    unknown_by_group[group] = (
+                        unknown_by_group.get(group, 0)
+                        + _pool_cost(targets, pool, region_of))
+        snapshots.append((at, set(members),
+                          {group: set(pool) for group, pool in groups.items()},
+                          unknown_total, dict(unknown_by_group), departed))
+    return snapshots
+
+
+def _snapshot_at(snapshots, instant):  # type: ignore[no-untyped-def]
+    """The last membership snapshot at or before ``instant``."""
+    current = snapshots[0]
+    for snapshot in snapshots:
+        if snapshot[0] <= instant:
+            current = snapshot
+        else:
+            break
+    return current
 
 
 def _byzantine_end(event: BecomeByzantine, index: int,
@@ -175,14 +251,15 @@ def validate_fault_budget(schedule: "FaultScheduleConfig",
     events = schedule.events
     if not any(isinstance(event, BecomeByzantine) for event in events):
         return
-    region_of: dict[int, str | None] = {
-        index: region for index, (region, _algorithm) in enumerate(assignments)}
-    groups: dict[str, set[int]] = {}
-    for index, (_region, algorithm) in enumerate(assignments):
-        groups.setdefault(algorithm, set()).add(index)
-    all_servers = set(region_of)
+    region_of: dict[str, str | None] = {
+        f"server-{index}": region
+        for index, (region, _algorithm) in enumerate(assignments)}
+    snapshots = _membership_timeline(events, assignments, region_of)
+    explicit_f = setchain.f
 
-    # (start, end, kind, per-scope cost) intervals; scope "all" plus one per group.
+    # (start, end, kind, per-scope cost) intervals; scope "all" plus one per
+    # group.  Costs are charged against the membership at the event's start,
+    # so an explicitly-named target that only exists after a join still counts.
     intervals: list[tuple[float, float, str, dict[str, int]]] = []
     for index, event in enumerate(events):
         if isinstance(event, Crash):
@@ -198,17 +275,21 @@ def validate_fault_budget(schedule: "FaultScheduleConfig",
             targets, count_override = event.targets, None
         else:
             continue
-        costs = {"all": _pool_cost(targets, all_servers, region_of,
+        _t, members, group_pools, _unknown, _by_group, _departed = \
+            _snapshot_at(snapshots, start)
+        costs = {"all": _pool_cost(targets, members, region_of,
                                    count_override)}
-        for group, members in groups.items():
-            costs[group] = _pool_cost(targets, members, region_of,
+        for group, pool in group_pools.items():
+            costs[group] = _pool_cost(targets, pool, region_of,
                                       count_override)
         kind = "byzantine" if isinstance(event, BecomeByzantine) else "crashed"
         intervals.append((start, end, kind, costs))
 
-    quorum = setchain.quorum
-    f = setchain.max_faulty
-    for instant in sorted({start for start, _end, _kind, _costs in intervals}):
+    # Every interval start plus every membership change is a potential
+    # worst-case instant: a leave mid-window shrinks f under active faults.
+    instants = sorted({start for start, _end, _kind, _costs in intervals}
+                      | {snapshot[0] for snapshot in snapshots[1:]})
+    for instant in instants:
         active = [entry for entry in intervals
                   if entry[0] <= instant < entry[1]]
         by_kind = {"byzantine": 0, "crashed": 0}
@@ -220,28 +301,37 @@ def validate_fault_budget(schedule: "FaultScheduleConfig",
             # crashes beyond f void liveness only until recovery, and no
             # Byzantine server is present here to void safety.
             continue
+        _t, members, group_pools, unknown, unknown_by_group, departed = \
+            _snapshot_at(snapshots, instant)
+        n_t = len(members) - unknown
+        f_t = explicit_f if explicit_f is not None else max(0, (n_t - 1) // 2)
+        quorum_t = f_t + 1
         total = by_kind["byzantine"] + by_kind["crashed"]
-        if total > f:
+        if total > f_t:
             raise ConfigurationError(
                 f"fault schedule exceeds the Byzantine budget at "
-                f"t={instant:g}s: up to {by_kind['byzantine']} Byzantine and "
-                f"{by_kind['crashed']} crashed server(s) at once, but the "
-                f"scenario tolerates f={f} faulty server(s) "
-                f"(n={setchain.n_servers}, quorum={quorum}); shorten or "
-                "stagger the fault windows, or raise f/n")
-        for group, members in groups.items():
-            group_byz = sum(costs[group] for _s, _e, kind, costs in active
+                f"t={instant:g}s: up to {by_kind['byzantine']} Byzantine, "
+                f"{by_kind['crashed']} crashed, and {departed} departed "
+                f"server(s) at that instant, but the membership there is "
+                f"n={n_t} tolerating f={f_t} faulty server(s) "
+                f"(quorum={quorum_t}); shorten or stagger the fault "
+                "windows, join capacity first, or raise f/n")
+        for group, pool in group_pools.items():
+            group_byz = sum(costs.get(group, 0)
+                            for _s, _e, kind, costs in active
                             if kind == "byzantine")
-            group_total = sum(costs[group] for _s, _e, _kind, costs in active)
+            group_total = sum(costs.get(group, 0)
+                              for _s, _e, _kind, costs in active)
+            size_t = len(pool) - unknown_by_group.get(group, 0)
             # Only the schedule's own *Byzantine* damage counts per group:
             # a group too small to reach quorum even fault-free is a
             # topology property, and a crash-only group is a liveness
             # experiment, not a schedule error.
-            if group_byz and len(members) - group_total < quorum:
+            if group_byz and size_t - group_total < quorum_t:
                 raise ConfigurationError(
                     f"fault schedule leaves the {group!r} group below quorum "
-                    f"at t={instant:g}s: up to {group_total} of "
-                    f"{len(members)} server(s) Byzantine or crashed, but "
-                    f"epoch commits need {quorum} correct signer(s) "
-                    f"(quorum = f+1 with f={f}); shorten or stagger the "
-                    "fault windows, or raise the group size")
+                    f"at t={instant:g}s: up to {group_byz} Byzantine and "
+                    f"{group_total - group_byz} crashed of {size_t} member "
+                    f"server(s), but epoch commits need {quorum_t} correct "
+                    f"signer(s) (quorum = f+1 with f={f_t}); shorten or "
+                    "stagger the fault windows, or grow the group first")

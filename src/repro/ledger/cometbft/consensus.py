@@ -72,14 +72,24 @@ class ConsensusState:
     committed: bool = False
     #: (round, vote_type, block_id) -> set of voter names.
     votes: dict[tuple[int, VoteType, str], set[str]] = field(default_factory=dict)
+    #: Validators entitled to vote at this height (``None`` = anyone).  With
+    #: dynamic membership a vote from a validator whose epoch has not yet
+    #: activated — or has already ended — must not count toward quorums.
+    members: frozenset[str] | None = None
 
     def record_vote(self, vote: Vote) -> int:
-        """Add a vote; returns the updated count for its (round, type, block)."""
+        """Add a vote; returns the updated count for its (round, type, block).
+
+        Votes from non-members of this height's validator epoch are ignored
+        (recorded count unchanged).
+        """
         if vote.height != self.height:
             raise ConsensusError(
                 f"vote for height {vote.height} recorded against state at height {self.height}"
             )
         key = (vote.round, vote.vote_type, vote.block_id)
+        if self.members is not None and vote.voter not in self.members:
+            return len(self.votes.get(key, ()))
         voters = self.votes.setdefault(key, set())
         voters.add(vote.voter)
         return len(voters)

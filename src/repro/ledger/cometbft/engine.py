@@ -68,7 +68,6 @@ class CometBFTNode(NetworkNode, LedgerInterface):
         self.mempool = Mempool(config.mempool_max_txs, config.mempool_max_bytes)
         self.app: Application | None = None
         self.height = 1
-        self.state = ConsensusState(height=1)
         self.committed_blocks: list[Block] = []
         #: Buffered consensus messages for heights we have not reached yet.
         self._future: dict[int, list[Message]] = {}
@@ -77,9 +76,17 @@ class CometBFTNode(NetworkNode, LedgerInterface):
         self._round_timer = Timer(sim, self._on_round_timeout)
         self._propose_timer = Timer(sim, self._maybe_propose)
         self._last_commit_time = 0.0
-        #: The fixed fan-out set for consensus traffic (validators only).
-        self._peer_validators = tuple(peer for peer in validators.names
-                                      if peer != name)
+        #: Fan-out set for consensus traffic (validators only), cached per
+        #: validator-set version so membership changes refresh it lazily.
+        self._peers_cache = tuple(peer for peer in validators.names
+                                  if peer != name)
+        self._peers_version = validators.version
+        #: First height at which this validator is *no longer* in the set
+        #: (``None`` = member for as long as it runs).  Set by
+        #: :meth:`CometBFTNetwork.remove_validator`; past it the node follows
+        #: the chain passively but neither proposes nor votes.
+        self.inactive_from_height: int | None = None
+        self.state = self._fresh_state(1)
         #: tx_id -> height at which this node committed the transaction.
         self.inclusion_height: dict[int, int] = {}
         #: Last time this node asked a peer for block-sync (rate limit), and
@@ -95,6 +102,34 @@ class CometBFTNode(NetworkNode, LedgerInterface):
         self.on("catchup_response", self._on_catchup_response)
 
     # -- helpers ----------------------------------------------------------------
+
+    @property
+    def _peer_validators(self) -> tuple[str, ...]:
+        if self._peers_version != self.validators.version:
+            self._peers_version = self.validators.version
+            self._peers_cache = tuple(peer for peer in self.validators.names
+                                      if peer != self.name)
+        return self._peers_cache
+
+    def _fresh_state(self, height: int) -> ConsensusState:
+        """Round state for ``height``, with a member filter once the set is dynamic.
+
+        A static validator set keeps ``members=None`` (no filtering, exactly
+        the original behaviour); after the first membership change every
+        height's votes are counted against the epoch deciding that height.
+        """
+        members = None
+        if self.validators.version:
+            members = frozenset(self.validators.names_at(height))
+        return ConsensusState(height=height, members=members)
+
+    def _is_member(self) -> bool:
+        """Whether this node is entitled to propose/vote at its current height."""
+        members = self.state.members
+        if members is not None:
+            return self.name in members
+        return (self.inactive_from_height is None
+                or self.height < self.inactive_from_height)
 
     def _broadcast_validators(self, msg_type: str, payload: object,
                               size_bytes: int = 0) -> None:
@@ -174,7 +209,7 @@ class CometBFTNode(NetworkNode, LedgerInterface):
     def _resume(self) -> None:
         """Restart consensus at ``self.height`` (fresh round, re-armed timers)."""
         self._last_commit_time = self.sim.now
-        self.state = ConsensusState(height=self.height)
+        self.state = self._fresh_state(self.height)
         self._future = {height: messages
                         for height, messages in self._future.items()
                         if height >= self.height}
@@ -253,6 +288,10 @@ class CometBFTNode(NetworkNode, LedgerInterface):
         self._maybe_progress()
 
     def _cast_vote(self, vote_type: VoteType, block_id: str) -> None:
+        if not self._is_member():
+            # Not (yet / any more) in this height's validator epoch: follow
+            # the chain passively — peers would discard the vote anyway.
+            return
         vote = Vote(height=self.height, round=self.state.round, voter=self.name,
                     vote_type=vote_type, block_id=block_id)
         self._broadcast_validators(vote_type.value, vote, size_bytes=_VOTE_SIZE)
@@ -281,7 +320,7 @@ class CometBFTNode(NetworkNode, LedgerInterface):
         if self.crashed or self.state.committed:
             return
         state = self.state
-        quorum = self.validators.quorum
+        quorum = self.validators.quorum_at(self.height)
         proposal = self._round_proposals.get((self.height, state.round))
         if proposal is not None and state.proposal is None:
             state.proposal = proposal
@@ -329,7 +368,7 @@ class CometBFTNode(NetworkNode, LedgerInterface):
     def _advance_height(self) -> None:
         self._last_commit_time = self.sim.now
         self.height += 1
-        self.state = ConsensusState(height=self.height)
+        self.state = self._fresh_state(self.height)
         self._round_proposals = {key: value for key, value in self._round_proposals.items()
                                  if key[0] >= self.height}
         self._round_timer.start(self.config.block_interval * _ROUND_TIMEOUT_FACTOR)
@@ -476,14 +515,15 @@ class CometBFTNode(NetworkNode, LedgerInterface):
         block commit at the same height elsewhere (a fork).
         """
         state = self.state
+        quorum = self.validators.quorum_at(self.height)
         heard = state.round_voters(state.round, VoteType.PRECOMMIT)
-        if heard < self.validators.quorum:
+        if heard < quorum:
             return False
-        unheard = len(self.validators.names) - heard
+        unheard = len(self.validators.names_at(self.height)) - heard
         for (vote_round, kind, block_id), voters in state.votes.items():
             if (vote_round == state.round and kind == VoteType.PRECOMMIT
                     and block_id != NIL_BLOCK
-                    and len(voters) + unheard >= self.validators.quorum):
+                    and len(voters) + unheard >= quorum):
                 return False
         return True
 
@@ -499,9 +539,11 @@ class CometBFTNetwork:
         self.sim = sim
         self.network = network
         self.config = config if config is not None else LedgerConfig()
+        self.name_prefix = name_prefix
         names = [f"{name_prefix}-{i}" for i in range(n_validators)]
         self.validators = ValidatorSet(names)
         self.nodes: dict[str, CometBFTNode] = {}
+        self._next_index = n_validators
         for name in names:
             node = CometBFTNode(name, sim, self.validators, self.config)
             network.register(node)
@@ -512,7 +554,62 @@ class CometBFTNetwork:
             node.start()
 
     def node_list(self) -> list[CometBFTNode]:
-        return [self.nodes[name] for name in self.validators.names]
+        return [self.nodes[name] for name in self.validators.names
+                if name in self.nodes]
+
+    # -- dynamic membership -----------------------------------------------------
+
+    def add_validator(self, name: str | None = None) -> CometBFTNode:
+        """Admit a new validator at the next block boundary (+2 delay).
+
+        The node is built, registered on the network, block-synced from the
+        best live peer (CometBFT's blocksync as an instantaneous transfer),
+        and starts following consensus immediately — but its votes only count
+        from its activation height on.
+        """
+        if name is None:
+            name = f"{self.name_prefix}-{self._next_index}"
+        self._next_index += 1
+        effective = max(1, self.min_committed_height() + 2)
+        self.validators.add_validator(name, effective)
+        node = CometBFTNode(name, self.sim, self.validators, self.config)
+        self.network.register(node)
+        self.nodes[name] = node
+        best: CometBFTNode | None = None
+        for peer in self.node_list():
+            if peer is node or peer.crashed:
+                continue
+            if best is None or peer.height > best.height:
+                best = peer
+        if best is not None and best.committed_blocks:
+            node.catch_up(list(best.committed_blocks))
+        else:
+            node.start()
+        return node
+
+    def remove_validator(self, name: str) -> int:
+        """Schedule ``name``'s departure from the set (two-block delay).
+
+        The node keeps validating until the change activates, then follows
+        the chain passively; :meth:`retire_node` tears it down for good.
+        Returns the activation height.
+        """
+        if name not in self.nodes:
+            raise ConsensusError(f"unknown validator {name!r}")
+        effective = max(1, self.min_committed_height() + 2)
+        self.validators.remove_validator(name, effective)
+        self.nodes[name].inactive_from_height = effective
+        return effective
+
+    def retire_node(self, name: str) -> None:
+        """Tear a removed (or never-active) validator down for good."""
+        try:
+            node = self.nodes.pop(name)
+        except KeyError:
+            raise ConsensusError(f"unknown validator {name!r}") from None
+        node._round_timer.cancel()
+        node._propose_timer.cancel()
+        self.network.unregister(name)
 
     def crash_node(self, name: str) -> None:
         """Crash-fault one validator (used by the fault injector)."""
@@ -547,8 +644,14 @@ class CometBFTNetwork:
                            if block.height >= node.height])
 
     def min_committed_height(self) -> int:
-        """Highest block height committed by every live node."""
-        live = [n for n in self.nodes.values() if not n.crashed]
+        """Highest block height committed by every live current-set member.
+
+        Removed-but-not-retired validators follow the chain passively (their
+        peers no longer gossip to them), so they are excluded — a stalled
+        leaver must not freeze the cluster's height.
+        """
+        live = [node for name, node in self.nodes.items()
+                if not node.crashed and name in self.validators]
         if not live:
             return 0
         return min(len(n.committed_blocks) for n in live)

@@ -46,6 +46,8 @@ class Network:
         self._faulty = False
         #: Sorted node names, rebuilt on registration (broadcast hot path).
         self._sorted_names: tuple[str, ...] = ()
+        #: Names of nodes that retired; sends to them drop instead of erroring.
+        self._departed: set[str] = set()
         #: Totals for observability.
         self.messages_delivered = 0
         self.messages_dropped = 0
@@ -62,6 +64,19 @@ class Network:
         self._nodes[node.name] = node
         self._sorted_names = tuple(sorted(self._nodes))
         node.attach(self)
+
+    def unregister(self, name: str) -> None:
+        """Remove a retired node; in-flight messages to it are dropped.
+
+        Delivery already treats an unknown recipient as a drop (the node is
+        gone), so messages still in transit when a node retires simply count
+        toward ``messages_dropped``.
+        """
+        if name not in self._nodes:
+            raise NetworkError(f"unknown node {name!r}")
+        del self._nodes[name]
+        self._departed.add(name)
+        self._sorted_names = tuple(sorted(self._nodes))
 
     def node_names(self) -> list[str]:
         """Registered node names in sorted (deterministic) order."""
@@ -174,9 +189,15 @@ class Network:
         """Schedule delivery of ``message`` after a modelled latency.
 
         Unknown recipients are an error (a correct process never addresses a
-        process outside the deployment).
+        process outside the deployment) — except names that *used to be*
+        members: a peer may still hold a retired node's address (e.g. a
+        Request_batch retry rotating over historical signers), and those
+        messages are simply lost, like mail to a decommissioned host.
         """
         if message.recipient not in self._nodes:
+            if message.recipient in self._departed:
+                self.messages_dropped += 1
+                return
             raise NetworkError(
                 f"{message.sender!r} sent {message.msg_type!r} to unknown node "
                 f"{message.recipient!r}"
@@ -259,6 +280,9 @@ class Network:
                               msg_type=msg_type, payload=payload,
                               size_bytes=size_bytes)
             if recipient not in nodes:
+                if recipient in self._departed:
+                    self.messages_dropped += 1
+                    continue
                 raise NetworkError(
                     f"{sender!r} sent {msg_type!r} to unknown node {recipient!r}"
                 )

@@ -212,4 +212,16 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
                      for kind, count in audit["tx_kinds"].items()]
         print()
         print(render_table(["payload kind", "transactions"], kind_rows))
+    membership = audit.get("membership")
+    if membership:
+        member_rows = [
+            ["epochs", membership["epochs"]],
+            ["joins / leaves", f"{membership['joins']} / "
+                               f"{membership['leaves']}"],
+            ["current members", ", ".join(membership["current_members"])],
+            ["epoch contiguity", "yes" if membership["contiguous"] else "NO"],
+        ]
+        print()
+        print(render_table(["field", "value"], member_rows,
+                           title="membership journal"))
     return 0

@@ -67,6 +67,16 @@ CREATE TABLE IF NOT EXISTS meta (
     key   TEXT PRIMARY KEY,
     value TEXT NOT NULL
 );
+CREATE TABLE IF NOT EXISTS membership (
+    epoch            INTEGER PRIMARY KEY,
+    at               REAL NOT NULL,
+    effective_height INTEGER NOT NULL,
+    members          TEXT NOT NULL,
+    f                INTEGER NOT NULL,
+    quorum           INTEGER NOT NULL,
+    reason           TEXT NOT NULL,
+    node             TEXT
+);
 """
 
 
@@ -344,6 +354,42 @@ class SqliteLedger(IdealLedger):
             batches[batch_hash] = decoded
         return batches
 
+    # -- membership-epoch journal -------------------------------------------------
+
+    def journal_membership(self, epochs: "list[dict[str, Any]]") -> int:
+        """Persist the membership timeline (full rewrite, idempotent).
+
+        The timeline is tiny (one row per join/leave) and append-only in
+        memory, so each checkpoint rewrites it whole — a restart, or an
+        offline ``repro service inspect``, then sees every epoch the run
+        went through, and :func:`audit_chain` can verify their contiguity.
+        """
+        rows = [(epoch["index"], epoch["at"], epoch["effective_height"],
+                 json.dumps(list(epoch["members"])), epoch["f"],
+                 epoch["quorum"], epoch["reason"], epoch.get("node"))
+                for epoch in epochs]
+        with self._conn:
+            self._conn.execute("DELETE FROM membership")
+            self._conn.executemany(
+                "INSERT INTO membership VALUES (?, ?, ?, ?, ?, ?, ?, ?)", rows)
+        return len(rows)
+
+    def journaled_membership(self) -> "list[dict[str, Any]]":
+        """The persisted membership timeline, decoded (empty for static runs)."""
+        epochs = []
+        for index, at, effective, members, f, quorum, reason, node in \
+                self._conn.execute(
+                    "SELECT epoch, at, effective_height, members, f, quorum, "
+                    "reason, node FROM membership ORDER BY epoch"):
+            entry: dict[str, Any] = {
+                "index": index, "at": at, "effective_height": effective,
+                "members": json.loads(members), "f": f, "quorum": quorum,
+                "reason": reason}
+            if node is not None:
+                entry["node"] = node
+            epochs.append(entry)
+        return epochs
+
     # -- lifecycle ---------------------------------------------------------------
 
     def close(self) -> None:
@@ -389,8 +435,12 @@ def audit_chain(path: str | Path) -> dict[str, Any]:
     Checks height contiguity (heights ``1..H`` with no gaps) and summarises
     what the chain carries: transaction kinds, appending servers, distinct
     element ids and bytes, the out-of-band batch journal, and id/open
-    counters.  Raises :class:`LedgerError` on a broken chain and
-    :class:`ConfigurationError` when the file is missing or not a ledger.
+    counters.  When the ledger journaled a membership timeline, the epochs
+    are audited too: indices contiguous from 1, activation heights
+    non-decreasing, and each join/leave changing the member set by exactly
+    its recorded node.  Raises :class:`LedgerError` on a broken chain or
+    membership journal and :class:`ConfigurationError` when the file is
+    missing or not a ledger.
     """
     db = Path(path)
     if not db.exists():
@@ -433,7 +483,8 @@ def audit_chain(path: str | Path) -> dict[str, Any]:
         batch_rows = conn.execute("SELECT COUNT(*) FROM batches").fetchone()[0]
         meta = {key: value for key, value in conn.execute(
             "SELECT key, value FROM meta")}
-        return {
+        membership = _audit_membership(conn, db)
+        report = {
             "path": str(db),
             "height": len(heights),
             "blocks": len(heights),
@@ -451,5 +502,64 @@ def audit_chain(path: str | Path) -> dict[str, Any]:
             "max_element_id": (int(meta["max_element_id"])
                                if "max_element_id" in meta else None),
         }
+        if membership is not None:
+            # Only ledgers that journaled a membership timeline grow this
+            # block; static-run audits keep the earlier report shape.
+            report["membership"] = membership
+        return report
     finally:
         conn.close()
+
+
+def _audit_membership(conn: sqlite3.Connection,
+                      db: Path) -> dict[str, Any] | None:
+    """Audit the journaled membership timeline (None when none was journaled).
+
+    The invariants mirror :class:`repro.core.membership.MembershipLog`:
+    epoch indices count 1, 2, 3, ... with no gaps; activation heights never
+    decrease; and every non-initial epoch's member set differs from its
+    predecessor by exactly the one node it records joining or leaving.
+    """
+    try:
+        rows = list(conn.execute(
+            "SELECT epoch, at, effective_height, members, reason, node "
+            "FROM membership ORDER BY epoch"))
+    except sqlite3.OperationalError:
+        return None  # database predates the membership journal
+    if not rows:
+        return None
+    indices = [row[0] for row in rows]
+    if indices != list(range(1, len(rows) + 1)):
+        raise LedgerError(
+            f"membership journal in {db} has non-contiguous epochs "
+            f"(got indices {indices})")
+    previous_height = None
+    previous_members: set[str] | None = None
+    joins = leaves = 0
+    for index, _at, effective, members_json, reason, node in rows:
+        if previous_height is not None and effective < previous_height:
+            raise LedgerError(
+                f"membership journal in {db} has a decreasing activation "
+                f"height at epoch {index} ({effective} < {previous_height})")
+        previous_height = effective
+        members = set(json.loads(members_json))
+        if previous_members is not None:
+            if reason == "join":
+                joins += 1
+                expected = previous_members | {node}
+            elif reason == "leave":
+                leaves += 1
+                expected = previous_members - {node}
+            else:
+                raise LedgerError(
+                    f"membership journal in {db} has epoch {index} with "
+                    f"unknown reason {reason!r}")
+            if node is None or members != expected:
+                raise LedgerError(
+                    f"membership journal in {db} is inconsistent at epoch "
+                    f"{index}: a {reason} of {node!r} does not connect "
+                    f"{sorted(previous_members)} to {sorted(members)}")
+        previous_members = members
+    return {"epochs": len(rows), "joins": joins, "leaves": leaves,
+            "current_members": sorted(previous_members or ()),
+            "contiguous": True}

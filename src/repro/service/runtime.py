@@ -226,7 +226,10 @@ class ServiceRuntime:
             for _ in range(len(servers)):
                 candidate = servers[self._rr % len(servers)]
                 self._rr += 1
-                if not candidate.crashed:
+                # Draining servers refuse new adds and bootstrapping joiners
+                # are not yet members; route around both, like crashes.
+                if (not candidate.crashed and not candidate.draining
+                        and not candidate.bootstrapping):
                     target = candidate
                     break
             if target is None:
@@ -253,16 +256,47 @@ class ServiceRuntime:
             self.session.recover(name)
             self.run_for(between)
 
+    def add_server(self, name: str | None = None, *,
+                   algorithm: str | None = None,
+                   region: str | None = None) -> str:
+        """Scale out: join a server mid-service; returns its name.
+
+        The joiner bootstraps via state transfer and receives ingress
+        traffic (the drain round-robin includes it) once caught up.
+        """
+        with self._lock:
+            if self._stopped:
+                raise SimulationError("service runtime is stopped")
+            server = self.deployment.add_server(name=name, algorithm=algorithm,
+                                                region=region)
+            return server.name
+
+    def remove_server(self, name: str, *, drain: bool = True) -> None:
+        """Scale in: drain and retire a server mid-service.
+
+        Ingress routes around it immediately; the retirement completes once
+        its obligations are handed off (advance ticks to let it finish).
+        """
+        with self._lock:
+            if self._stopped:
+                raise SimulationError("service runtime is stopped")
+            self.deployment.remove_server(name, drain=drain)
+
     def checkpoint(self) -> int:
         """Journal every server's batch-store contents to the database.
 
         Returns the number of batches journaled (0 without a database).
         The chain itself needs no checkpointing — blocks are durable the
-        moment they are cut.
+        moment they are cut.  Runs whose membership changed journal their
+        epoch timeline alongside, so offline audits can verify it.
         """
         backend = self.deployment.ledger_backend
         if not isinstance(backend, SqliteLedger):
             return 0
+        membership = self.deployment.membership
+        if membership is not None and membership.changed:
+            backend.journal_membership(
+                [epoch.to_dict() for epoch in membership.epochs])
         batches: dict[str, tuple[object, ...]] = {}
         for server in self.deployment.servers:
             for attr in ("store", "shared_store"):
@@ -290,13 +324,32 @@ class ServiceRuntime:
                     "queue_limit": self.queue_limit}
 
     def healthz(self) -> dict[str, Any]:
-        """Liveness summary: ``ok`` while a commit quorum of servers is up."""
+        """Liveness summary: ``ok`` while a commit quorum of servers is up.
+
+        With dynamic membership both sides of the comparison follow the
+        *current* epoch: only live current-epoch members count (a
+        bootstrapping joiner or a draining leaver is not one), against that
+        epoch's quorum — not the build-time f+1.  The payload always carries
+        the epoch number (1 until the first membership change).
+        """
         with self._lock:
-            live = sum(1 for s in self.deployment.servers if not s.crashed)
-            quorum = self.config.setchain.quorum
+            deployment = self.deployment
+            membership = deployment.membership
+            if membership is not None and membership.changed:
+                current = membership.current
+                members = set(current.members)
+                live = sum(1 for s in deployment.servers
+                           if s.name in members and not s.crashed)
+                quorum = current.quorum
+                epoch = current.index
+            else:
+                live = sum(1 for s in deployment.servers if not s.crashed)
+                quorum = self.config.setchain.quorum
+                epoch = 1
             return {"status": "ok" if live >= quorum and not self._stopped
                     else "degraded",
                     "live_servers": live, "quorum": quorum,
+                    "epoch": epoch,
                     "stopped": self._stopped,
                     "uptime_s": self.session.now}
 
@@ -339,7 +392,7 @@ class ServiceRuntime:
                 ledger["durable"] = True
                 ledger["db"] = backend.path
                 ledger["resumed_from"] = backend.resumed_from
-            return {
+            snapshot: dict[str, Any] = {
                 "label": self.config.label,
                 "algorithm": self.config.algorithm,
                 "now": now,
@@ -362,6 +415,18 @@ class ServiceRuntime:
                 "ledger": ledger,
                 "recovered_blocks": self.recovered_blocks,
             }
+            membership = deployment.membership
+            if membership is not None and membership.changed:
+                # Scrapes of static services keep the earlier shape; elastic
+                # ones expose the current epoch's set and quorum.
+                current = membership.current
+                snapshot["membership"] = {
+                    "epoch": current.index,
+                    "members": list(current.members),
+                    "size": len(current.members),
+                    "quorum": current.quorum,
+                }
+            return snapshot
 
     def result(self) -> RunResult:
         """Package the standard batch analyses for the run so far."""

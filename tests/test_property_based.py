@@ -279,3 +279,73 @@ def test_properties_hold_under_mixed_crash_byzantine_partition_schedules(
                            all_added=deployment.injected_elements,
                            include_liveness=True)
     assert violations == [], violations[:5]
+
+
+# -- Properties 1-8 under mixed join/leave/crash/partition schedules --------------
+# PR 7's tentpole: membership itself changes at runtime.  A random timeline
+# may admit a joining server (state transfer, then epoch-aware quorum entry),
+# drain one original server out, crash-recover another, cut a short
+# partition, and add background loss.  Servers 0-2 are members for the whole
+# run and never faulted, so Properties 1-8 — checked against the *smallest*
+# quorum any membership epoch used — must hold at their views for all three
+# algorithms.
+
+
+@pytest.mark.parametrize("algorithm", ["vanilla", "compresschain", "hashchain"])
+@_fault_runs
+@given(data=st.data())
+def test_properties_hold_under_mixed_membership_and_fault_schedules(
+        algorithm, data):
+    from repro.api import Scenario
+    from repro.core.deployment import run_experiment
+    from repro.core.properties import check_all
+    from repro.faults import Crash, Join, Leave, MessageLoss, Partition, Targets
+
+    events = []
+    transient = []  # servers that were faulted, joined, or departed mid-run
+    if data.draw(st.booleans(), label="join"):
+        at = data.draw(st.floats(0.3, 2.0), label="join at")
+        events.append(Join(at=at))
+        transient.append("server-5")  # joined late: not a full-run member
+    if data.draw(st.booleans(), label="leave server-4"):
+        at = data.draw(st.floats(0.5, 3.0), label="leave at")
+        drain = data.draw(st.booleans(), label="leave drains")
+        events.append(Leave(at=at, targets=Targets(nodes=("server-4",)),
+                            drain=drain))
+        transient.append("server-4")
+    if data.draw(st.booleans(), label="crash server-3"):
+        at = data.draw(st.floats(0.2, 3.0), label="crash at")
+        down = data.draw(st.floats(0.5, 2.5), label="crash down for")
+        events.append(Crash(at=at, until=at + down,
+                            targets=Targets(nodes=("server-3",))))
+        transient.append("server-3")
+    if data.draw(st.booleans(), label="partition"):
+        at = data.draw(st.floats(0.2, 3.5), label="partition at")
+        width = data.draw(st.floats(0.3, 1.5), label="partition width")
+        events.append(Partition(at=at, until=at + width,
+                                group=Targets(role="servers", count=1)))
+    if data.draw(st.booleans(), label="loss"):
+        rate = data.draw(st.floats(0.005, 0.05), label="loss rate")
+        events.append(MessageLoss(at=0.0, until=4.0, rate=rate))
+    seed = data.draw(st.integers(0, 2**16), label="seed")
+
+    config = (Scenario(algorithm).servers(5).rate(150).collector(10)
+              .inject_for(4).drain(40).backend("ideal")
+              .faults(*events).seed(seed).build())
+    deployment = run_experiment(config)
+
+    # The quorum every element must eventually clear: the smallest any
+    # membership epoch required (a drained leave can shrink it below the
+    # static config value).
+    log = deployment.membership
+    if log is not None and log.changed:
+        quorum = min(epoch.quorum for epoch in log.epochs)
+    else:
+        quorum = config.setchain.quorum
+    views = {server.name: server.get() for server in deployment.servers
+             if server.name not in transient}
+    assert len(views) >= quorum
+    violations = check_all(views, quorum=quorum,
+                           all_added=deployment.injected_elements,
+                           include_liveness=True)
+    assert violations == [], violations[:5]
