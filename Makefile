@@ -1,7 +1,10 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-pytest bench-smoke chaos-smoke byz-smoke membership-smoke service-smoke list-scenarios clean
+.PHONY: test bench bench-pytest bench-smoke million million-smoke profile chaos-smoke byz-smoke membership-smoke service-smoke list-scenarios clean
+
+# Scenario to profile with `make profile` (override: make profile SCENARIO=...).
+SCENARIO ?= bench/hashchain-heavy
 
 test:
 	$(PYTHON) -m pytest -q
@@ -12,6 +15,18 @@ bench:
 
 bench-pytest:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+# Million-element trajectory (batched algorithms; serial so numbers are clean).
+million:
+	$(PYTHON) -m repro.bench --set million --jobs 1 --out results/BENCH_MILLION.json
+
+# CI-sized 100k variant of the million set, all three algorithms.
+million-smoke:
+	$(PYTHON) -m repro.bench --set million-smoke --jobs 1 --out results/BENCH_MILLION_SMOKE.json
+
+# cProfile one scenario (override the target: make profile SCENARIO=bench/vanilla).
+profile:
+	$(PYTHON) -m repro.bench profile $(SCENARIO) --limit 30
 
 # One registry scenario through the CLI, persisting its RunResult artifact.
 bench-smoke:

@@ -7,6 +7,7 @@ efficiency close to 1 at 50 s and exactly 1 by 75 s.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass
 
 from ..errors import ConfigurationError
@@ -42,7 +43,7 @@ def efficiency_at(metrics: MetricsCollector, time: float,
     added = total_added if total_added is not None else metrics.injected_count
     if added == 0:
         return 0.0
-    committed = sum(1 for t in metrics.commit_times() if t <= time)
+    committed = bisect_right(metrics.commit_times(), time)
     return min(1.0, committed / added)
 
 

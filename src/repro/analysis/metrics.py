@@ -20,9 +20,14 @@ from typing import Any, Iterable, Mapping
 from ..workload.elements import Element
 
 
-@dataclass
+@dataclass(slots=True)
 class ElementRecord:
-    """Lifecycle timestamps (simulated seconds) for one element."""
+    """Lifecycle timestamps (simulated seconds) for one element.
+
+    ``slots=True`` matters at million-element scale: one record exists per
+    element, and the per-instance ``__dict__`` would otherwise dominate the
+    collector's memory footprint.
+    """
 
     element_id: int
     size_bytes: int = 0
@@ -93,6 +98,19 @@ class MetricsCollector:
         self.byzantine_counters: dict[str, int] = {}
         #: The same counters broken down by server name.
         self.byzantine_by_server: dict[str, dict[str, int]] = {}
+        # Incremental tallies behind injected_count/committed_count: each
+        # lifecycle stage is recorded at most once per element, so counting at
+        # record time replaces an O(elements) scan per poll — and completion
+        # polling happens every block at million-element scale.
+        self._injected_total = 0
+        self._committed_total = 0
+        #: Batch hashes whose elements already have ``in_ledger_at`` stamped.
+        #: Every server re-reports every ledger batch; after the first report
+        #: the remaining ``servers - 1`` are guaranteed no-ops, so they can
+        #: skip the per-element pass entirely.
+        self._ledger_hash_done: set[str] = set()
+        #: (committed_total, sorted times) behind :meth:`commit_times`.
+        self._commit_times_cache: tuple[int, list[float]] | None = None
 
     # -- regions ---------------------------------------------------------------
 
@@ -134,6 +152,24 @@ class MetricsCollector:
         record.size_bytes = element.size_bytes
         if record.injected_at is None:
             record.injected_at = time
+            self._injected_total += 1
+
+    def record_injected_many(self, elements: Iterable[Element],
+                             time: float) -> None:
+        """Batch :meth:`record_injected` for one injection tick."""
+        records = self.elements
+        make = ElementRecord
+        fresh = 0
+        for element in elements:
+            element_id = element.element_id
+            record = records.get(element_id)
+            if record is None:
+                records[element_id] = record = make(element_id=element_id)
+            record.size_bytes = element.size_bytes
+            if record.injected_at is None:
+                record.injected_at = time
+                fresh += 1
+        self._injected_total += fresh
 
     def record_added(self, element: Element, server: str, time: float) -> None:
         record = self._record(element.element_id)
@@ -143,6 +179,25 @@ class MetricsCollector:
             region = self.region_of.get(server)
             if region is not None:
                 self.region_added[region] = self.region_added.get(region, 0) + 1
+
+    def record_added_many(self, elements: Iterable[Element], server: str,
+                          time: float) -> None:
+        """Batch :meth:`record_added`: one pass, one region-counter update."""
+        records = self.elements
+        make = ElementRecord
+        region = self.region_of.get(server)
+        fresh = 0
+        for element in elements:
+            element_id = element.element_id
+            record = records.get(element_id)
+            if record is None:
+                records[element_id] = record = make(element_id=element_id)
+            record.size_bytes = element.size_bytes
+            if record.added_at is None:
+                record.added_at = time
+                fresh += 1
+        if region is not None and fresh:
+            self.region_added[region] = self.region_added.get(region, 0) + fresh
 
     def record_tx_elements(self, tx_id: int, element_ids: Iterable[int]) -> None:
         self.tx_elements[tx_id] = list(element_ids)
@@ -156,9 +211,26 @@ class MetricsCollector:
         if record.in_ledger_at is None:
             record.in_ledger_at = time
 
+    def record_in_ledger_many(self, element_ids: Iterable[int],
+                              time: float) -> None:
+        """Batch :meth:`record_in_ledger` — every server re-observes every
+        ledger batch, so this runs ``servers × elements`` times per run."""
+        records = self.elements
+        make = ElementRecord
+        for element_id in element_ids:
+            record = records.get(element_id)
+            if record is None:
+                records[element_id] = record = make(element_id=element_id)
+            if record.in_ledger_at is None:
+                record.in_ledger_at = time
+
     def record_in_ledger_by_hash(self, batch_hash: str, time: float) -> None:
-        for element_id in self.hash_elements.get(batch_hash, ()):
-            self.record_in_ledger(element_id, time)
+        if batch_hash in self._ledger_hash_done:
+            return
+        ids = self.hash_elements.get(batch_hash)
+        if ids:
+            self._ledger_hash_done.add(batch_hash)
+            self.record_in_ledger_many(ids, time)
 
     def record_epoch_assigned(self, element_id: int, epoch_number: int,
                               time: float) -> None:
@@ -166,6 +238,19 @@ class MetricsCollector:
         if record.epoch_assigned_at is None:
             record.epoch_assigned_at = time
             record.epoch_number = epoch_number
+
+    def record_epoch_assigned_many(self, element_ids: Iterable[int],
+                                   epoch_number: int, time: float) -> None:
+        """Batch :meth:`record_epoch_assigned` for one epoch creation."""
+        records = self.elements
+        make = ElementRecord
+        for element_id in element_ids:
+            record = records.get(element_id)
+            if record is None:
+                records[element_id] = record = make(element_id=element_id)
+            if record.epoch_assigned_at is None:
+                record.epoch_assigned_at = time
+                record.epoch_number = epoch_number
 
     def record_epoch_created(self, server: str, epoch_number: int, n_elements: int,
                              time: float) -> None:
@@ -177,10 +262,16 @@ class MetricsCollector:
         if epoch_number not in self.epoch_commit_times:
             self.epoch_commit_times[epoch_number] = time
         region = self.region_of.get(observer)
+        records = self.elements
+        make = ElementRecord
         for element in elements:
-            record = self._record(element.element_id)
+            element_id = element.element_id
+            record = records.get(element_id)
+            if record is None:
+                records[element_id] = record = make(element_id=element_id)
             if record.committed_at is None:
                 record.committed_at = time
+                self._committed_total += 1
                 if region is not None:
                     self.region_committed[region] = (
                         self.region_committed.get(region, 0) + 1)
@@ -212,16 +303,29 @@ class MetricsCollector:
 
     @property
     def injected_count(self) -> int:
-        return sum(1 for r in self.elements.values() if r.injected_at is not None)
+        return self._injected_total
 
     @property
     def committed_count(self) -> int:
-        return sum(1 for r in self.elements.values() if r.committed_at is not None)
+        return self._committed_total
 
     def commit_times(self) -> list[float]:
-        """Sorted commit times of every committed element."""
-        return sorted(r.committed_at for r in self.elements.values()
-                      if r.committed_at is not None)
+        """Sorted commit times of every committed element.
+
+        The result is cached until another element commits (each element
+        commits at most once, so ``_committed_total`` is a change counter) —
+        post-run analyses poll this several times per run, and re-sorting a
+        million floats per poll is measurable.  Callers must treat the
+        returned list as read-only; every existing consumer does.
+        """
+        cached = self._commit_times_cache
+        total = self._committed_total
+        if cached is not None and cached[0] == total:
+            return cached[1]
+        times = sorted(r.committed_at for r in self.elements.values()
+                       if r.committed_at is not None)
+        self._commit_times_cache = (total, times)
+        return times
 
     def commit_latencies(self) -> list[float]:
         """Injection-to-commit latencies of committed elements."""

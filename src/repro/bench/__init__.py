@@ -14,6 +14,8 @@ trajectory.
 """
 
 from .runner import (
+    BENCH_MILLION,
+    BENCH_MILLION_SMOKE,
     BENCH_SCHEMA_VERSION,
     BENCH_SMOKE,
     BenchCase,
@@ -26,6 +28,8 @@ from .runner import (
 )
 
 __all__ = [
+    "BENCH_MILLION",
+    "BENCH_MILLION_SMOKE",
     "BENCH_SCHEMA_VERSION",
     "BENCH_SMOKE",
     "BenchCase",

@@ -2,9 +2,12 @@
 
 Usage::
 
-    python -m repro.bench [run] [--out BENCH.json] [--label after]
+    python -m repro.bench [run] [--set smoke|million|million-smoke]
+                          [--out BENCH.json] [--label after]
                           [--jobs N|auto] [--repeat K]
     python -m repro.bench compare BEFORE.json AFTER.json [--out BENCH_PR2.json]
+    python -m repro.bench profile SCENARIO [--seed N] [--scale S]
+                          [--sort cumulative|tottime|...] [--limit N]
 """
 
 from __future__ import annotations
@@ -17,12 +20,21 @@ from typing import Sequence
 from ..api.parallel import jobs_arg
 from ..errors import ReproError
 from .runner import (
+    BENCH_MILLION,
+    BENCH_MILLION_SMOKE,
     BENCH_SMOKE,
     compare_benches,
     load_bench,
     run_bench,
     write_bench,
 )
+
+#: ``--set`` name -> (pinned cases, artifact ``set`` field).
+BENCH_SETS = {
+    "smoke": (BENCH_SMOKE, "bench-smoke"),
+    "million": (BENCH_MILLION, "bench-million"),
+    "million-smoke": (BENCH_MILLION_SMOKE, "million-smoke"),
+}
 
 
 def _positive_int(text: str) -> int:
@@ -47,6 +59,20 @@ def _build_parser() -> argparse.ArgumentParser:
     cmp_p.add_argument("after", help="new BENCH_*.json artifact")
     cmp_p.add_argument("--out", metavar="PATH",
                        help="write the merged trajectory document here")
+
+    prof_p = sub.add_parser(
+        "profile", help="cProfile one scenario run and print the hottest functions")
+    prof_p.add_argument("scenario", help="registered scenario name (e.g. bench/hashchain-heavy)")
+    prof_p.add_argument("--seed", type=int, default=1, help="run seed (default 1)")
+    prof_p.add_argument("--scale", type=float, default=1.0,
+                        help="scale factor passed to the runner (default 1.0)")
+    prof_p.add_argument("--sort", default="tottime",
+                        help="pstats sort key: tottime, cumulative, calls, ... "
+                             "(default tottime)")
+    prof_p.add_argument("--limit", type=_positive_int, default=25,
+                        help="number of rows to print (default 25)")
+    prof_p.add_argument("--out", metavar="PATH",
+                        help="also dump raw pstats data here (for snakeviz etc.)")
     return parser
 
 
@@ -59,24 +85,26 @@ def _add_run_options(parser: argparse.ArgumentParser) -> None:
                         help="worker processes (default 1; 'auto' = all cores)")
     parser.add_argument("--repeat", type=_positive_int, default=1,
                         help="runs per case, keeping the fastest (default 1)")
+    parser.add_argument("--set", choices=sorted(BENCH_SETS), default="smoke",
+                        help="which pinned case set to run (default smoke)")
     parser.add_argument("--contains", metavar="TEXT",
                         help="only cases whose scenario name contains TEXT "
                              "(partial artifacts are not comparable trajectories)")
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    cases = BENCH_SMOKE
-    bench_set = "bench-smoke"
+    cases, bench_set = BENCH_SETS[args.set]
     if args.contains:
+        full = len(cases)
         cases = tuple(c for c in cases if args.contains in c.scenario)
         if not cases:
             print(f"no bench cases match {args.contains!r}", file=sys.stderr)
             return 1
-        if len(cases) < len(BENCH_SMOKE):
+        if len(cases) < full:
             # A filtered artifact must not masquerade as the pinned set —
             # whole-set trajectory comparisons would silently shrink to the
             # intersection.
-            bench_set = "bench-smoke/partial"
+            bench_set = f"{bench_set}/partial"
     records = run_bench(cases, jobs=args.jobs, repeat=args.repeat)
     for record in records:
         print(f"{record.scenario:28s} wall={record.wall_s:8.3f}s  "
@@ -101,6 +129,41 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    import cProfile
+    import pstats
+
+    from ..api.registry import get_scenario
+    from ..experiments.runner import run_scenario
+
+    config = get_scenario(args.scenario)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    outcome = run_scenario(config, scale=args.scale, seed=args.seed)
+    profiler.disable()
+    committed = outcome.metrics.committed_count
+    print(f"{args.scenario}: committed={committed} "
+          f"events={outcome.deployment.sim.events_executed}")
+    try:
+        stats = pstats.Stats(profiler).sort_stats(args.sort)
+    except KeyError:
+        valid = ", ".join(sorted(k.value for k in pstats.SortKey))
+        print(f"error: unknown --sort key {args.sort!r} (valid: {valid})",
+              file=sys.stderr)
+        return 1
+    stats.print_stats(args.limit)
+    if args.out:
+        from pathlib import Path
+        target = Path(args.out)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        stats.dump_stats(str(target))
+        print(f"wrote {target}")
+    return 0
+
+
+_COMMANDS = {"compare": _cmd_compare, "profile": _cmd_profile}
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     # Bare `python -m repro.bench [--opts]` means `run` — but keep the
@@ -110,7 +173,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     elif argv[0].startswith("-") and argv[0] not in ("-h", "--help"):
         argv.insert(0, "run")
     args = _build_parser().parse_args(argv)
-    command = _cmd_compare if args.command == "compare" else _cmd_run
+    command = _COMMANDS.get(args.command, _cmd_run)
     try:
         return command(args)
     except (ReproError, OSError) as error:

@@ -284,6 +284,49 @@ class BaseSetchainServer(NetworkNode, Application):
             self._after_add(element)
         return True
 
+    def add_many(self, elements: list[Element]) -> int:
+        """Batched ``S.add_v``: one pass over a same-tick injection burst.
+
+        Returns the number of accepted elements.  Outcome per element — the
+        accept/reject verdict, ``the_set`` content, collector flush
+        boundaries, ledger appends, metrics — is exactly that of calling
+        :meth:`add` element by element; only the per-call dispatch is
+        amortised.  Byzantine servers fall back to the scalar path so
+        behaviour hooks observe every element individually.
+        """
+        if self.crashed:
+            self.crashed_rejects += len(elements)
+            return 0
+        if self.draining or self.departed:
+            self.drained_rejects += len(elements)
+            return 0
+        if self._byz is not None:
+            add = self.add
+            return sum(1 for element in elements if add(element))
+        the_set = self._the_set
+        accepted: list[Element] = []
+        keep = accepted.append
+        rejected = 0
+        duplicates = 0
+        for element in elements:
+            if not (isinstance(element, Element) and element.valid
+                    and element.size_bytes > 0):
+                rejected += 1
+                continue
+            element_id = element.element_id
+            if element_id in the_set:
+                duplicates += 1
+                continue
+            the_set[element_id] = element
+            keep(element)
+        self.rejected_elements += rejected
+        self.duplicate_adds += duplicates
+        if accepted:
+            if self.metrics is not None:
+                self.metrics.record_added_many(accepted, self.name, self.sim.now)
+            self._after_add_many(accepted)
+        return len(accepted)
+
     def get(self) -> SetchainView:
         """``S.get_v()``: snapshot of ``(the_set, history, epoch, proofs)``."""
         return SetchainView.snapshot(self._the_set, self._history, self._epoch,
@@ -313,17 +356,21 @@ class BaseSetchainServer(NetworkNode, Application):
         self._the_set.setdefault(element.element_id, element)
 
     def _record_new_epoch(self, elements: set[Element], block: Block) -> EpochProof:
-        """Create epoch ``self._epoch + 1`` from ``elements`` and sign its proof."""
+        """Create epoch ``self._epoch + 1`` from ``elements`` and sign its proof.
+
+        Takes ownership of ``elements``: every caller hands in a freshly built
+        set it never touches again, so the history can keep it without the
+        defensive copy (an epoch-sized set build per server otherwise).
+        """
         self._epoch += 1
-        self._history[self._epoch] = set(elements)
-        for element in elements:
-            self._epoched_ids.add(element.element_id)
+        self._history[self._epoch] = elements
+        element_ids = [element.element_id for element in elements]
+        self._epoched_ids.update(element_ids)
         if self.metrics is not None:
             self.metrics.record_epoch_created(self.name, self._epoch, len(elements),
                                               self.sim.now)
-            for element in elements:
-                self.metrics.record_epoch_assigned(element.element_id, self._epoch,
-                                                   self.sim.now)
+            self.metrics.record_epoch_assigned_many(element_ids, self._epoch,
+                                                    self.sim.now)
         proof = create_epoch_proof(self.scheme, self.keypair, self._epoch, elements)
         self._epoch_hashes[self._epoch] = proof.epoch_hash
         if self._future_proofs:
@@ -349,31 +396,74 @@ class BaseSetchainServer(NetworkNode, Application):
         Proofs for epochs beyond the locally created ones are buffered (the
         epoch may still be filling in — see ``_future_proofs``); proofs that
         mismatch an existing epoch are counted invalid and dropped.
+
+        Signature checks for the whole batch go through
+        ``scheme.verify_many`` — one cache pass, one backend batch — and every
+        per-proof outcome (invalid counters, buffering, signer sets, commit
+        points) is identical to checking the proofs one at a time: nothing a
+        proof writes in this method changes how a later proof in the same
+        batch routes through pass 1, and the quorum cannot move mid-call.
         """
+        history = self._history
+        epoch_hashes = self._epoch_hashes
+        checkable: list[tuple[EpochProof, set[Element]]] = []
+        triples: list[tuple[str, str, bytes]] = []
+        # A proof that reaches the signature check has epoch_hash equal to the
+        # locally cached hash, so the signed payload is a function of the
+        # epoch number alone — build it once per epoch, not once per signer.
+        payloads: dict[int, str] = {}
+        known = self._proofs
         for proof in candidates:
-            elements = self._history.get(proof.epoch_number)
+            if proof in known:
+                # Already accepted: its epoch exists, its hash matches the
+                # cached one, its signature verifies (deterministically), and
+                # pass 3 would dedup it — skipping here changes no counter,
+                # no buffer, and no commit.  Every server re-absorbs every
+                # ledger batch, so accepted proofs dominate the candidates.
+                continue
+            number = proof.epoch_number
+            elements = history.get(number)
             if elements is None:
-                if proof.epoch_number > self._epoch:
+                if number > self._epoch:
                     self._future_proofs.add(proof)
                 else:
                     self.invalid_proofs += 1
                 continue
-            if not self._proof_matches_local_epoch(proof):
+            expected = epoch_hashes.get(number)
+            if expected is None or expected != proof.epoch_hash:
                 self.invalid_proofs += 1
                 continue
-            if proof in self._proofs:
+            payload = payloads.get(number)
+            if payload is None:
+                payloads[number] = payload = epoch_proof_payload(number, expected)
+            checkable.append((proof, elements))
+            triples.append((proof.signer, payload, proof.signature))
+        if not checkable:
+            return
+        verdicts = self.scheme.verify_many(triples)
+        # Apply in input order: commit observation order feeds the metrics.
+        quorum = self.current_quorum
+        proofs = self._proofs
+        signer_sets = self._proof_signers
+        committed = self._committed_epochs
+        for (proof, elements), ok in zip(checkable, verdicts):
+            if not ok:
+                self.invalid_proofs += 1
                 continue
-            self._proofs.add(proof)
-            signers = self._proof_signers.setdefault(proof.epoch_number, set())
+            if proof in proofs:
+                continue
+            proofs.add(proof)
+            signers = signer_sets.setdefault(proof.epoch_number, set())
             signers.add(proof.signer)
-            if (len(signers) >= self.current_quorum
-                    and proof.epoch_number not in self._committed_epochs):
-                self._committed_epochs.add(proof.epoch_number)
+            if (len(signers) >= quorum
+                    and proof.epoch_number not in committed):
+                committed.add(proof.epoch_number)
                 if self.first_commit_at is None:
                     self.first_commit_at = self.sim.now
-                if self.metrics is not None and elements is not None:
+                if self.metrics is not None:
                     self.metrics.record_epoch_committed(
-                        proof.epoch_number, elements, self.sim.now, observer=self.name)
+                        proof.epoch_number, elements, self.sim.now,
+                        observer=self.name)
 
     def _on_quorum_change(self, quorum: int, block: Block) -> None:
         """React to a membership epoch boundary changing the f+1 quorum.
@@ -529,6 +619,12 @@ class BaseSetchainServer(NetworkNode, Application):
     def _after_add(self, element: Element) -> None:
         """What to do with a freshly added element (append vs collect)."""
         raise NotImplementedError
+
+    def _after_add_many(self, elements: list[Element]) -> None:
+        """Batched :meth:`_after_add`; subclasses override with a columnar path."""
+        after_add = self._after_add
+        for element in elements:
+            after_add(element)
 
     def _handle_tx(self, block: Block, tx: Transaction) -> None:
         """Process one ledger transaction; must call :meth:`_finish_after` exactly once."""

@@ -17,6 +17,8 @@ class BatchStore:
     def __init__(self) -> None:
         self._batches: dict[str, tuple[object, ...]] = {}
         self._local_hashes: set[str] = set()
+        #: hash → summed payload bytes, filled lazily by :meth:`payload_size`.
+        self._sizes: dict[str, int] = {}
         #: Number of Request_batch calls served to peers.
         self.served_requests = 0
         #: Number of batches recovered from peers (hash-reversal successes).
@@ -56,6 +58,22 @@ class BatchStore:
         if items is not None:
             self.served_requests += 1
         return items
+
+    def payload_size(self, batch_hash: str) -> int:
+        """Summed ``size_bytes`` of a stored batch, computed once per hash.
+
+        A batch is served to every peer that missed the multicast, so the
+        per-item size scan would otherwise repeat per requester.  Batches are
+        immutable tuples of frozen items, so the first answer stays correct.
+        """
+        size = self._sizes.get(batch_hash)
+        if size is None:
+            items = self._batches.get(batch_hash)
+            if items is None:
+                return 0
+            size = sum(getattr(item, "size_bytes", 0) for item in items)
+            self._sizes[batch_hash] = size
+        return size
 
     def is_local(self, batch_hash: str) -> bool:
         """True if this server originated the batch (no hash-reversal needed)."""

@@ -69,6 +69,31 @@ class Collector:
             self.size_flushes += 1
             self._flush()
 
+    def add_many(self, items: Sequence[object]) -> None:
+        """Batched :meth:`add`: slice-extend instead of N appends.
+
+        Flush boundaries, flush contents, and timer arming are exactly those
+        of adding the items one at a time — the batch is filled to the limit,
+        flushed, refilled, and so on; the timer is (re)armed whenever an item
+        lands in an empty batch.
+        """
+        position = 0
+        remaining = len(items)
+        limit = self.limit
+        while remaining > 0:
+            batch = self._batch
+            if not batch:
+                self._timer.start(self.timeout)
+            take = limit - len(batch)
+            if take > remaining:
+                take = remaining
+            batch.extend(items[position:position + take])
+            position += take
+            remaining -= take
+            if len(batch) >= limit:
+                self.size_flushes += 1
+                self._flush()
+
     def flush_now(self) -> None:
         """Force a flush of a non-empty batch (used at experiment drain time)."""
         if self._batch:

@@ -25,7 +25,7 @@ from ..sim.scheduler import Simulator
 from ..workload.elements import Element
 from .base import BaseSetchainServer
 from .collector import Collector
-from .validation import split_batch, valid_element
+from .types import EpochProof
 
 
 class CompresschainServer(BaseSetchainServer):
@@ -50,6 +50,10 @@ class CompresschainServer(BaseSetchainServer):
     def _after_add(self, element: Element) -> None:
         # §3 Compresschain line 5: add_to_batch(e).
         self.collector.add(element)
+
+    def _after_add_many(self, elements: list[Element]) -> None:
+        # Same flush boundaries as per-element adds, one slice-extend per flush.
+        self.collector.add_many(elements)
 
     def add_to_batch(self, item: object) -> None:
         """``add_to_batch``: also used internally for this server's epoch-proofs."""
@@ -86,20 +90,29 @@ class CompresschainServer(BaseSetchainServer):
         if not items:
             self._finish_after(duration)
             return
-        elements, proofs = split_batch(items)
-        # Lines 22-23: absorb the batch's valid epoch-proofs.
-        self._absorb_proofs(proofs)
-        # Lines 24-25: G = valid elements not yet in an epoch; add them to the_set.
+        # Lines 22-25 in one pass: collect the batch's epoch-proofs and build
+        # G = valid elements not yet in an epoch (first occurrence wins for
+        # conflicting duplicate ids).  Proof absorption and element adds touch
+        # disjoint state, so batching the proofs to the end changes nothing.
+        proofs: list[EpochProof] = []
+        keep_proof = proofs.append
         new_epoch: dict[int, Element] = {}
-        for element in elements:
-            if not valid_element(element) or self._known_in_history(element):
-                continue
-            if element.element_id in new_epoch:
-                continue
-            new_epoch[element.element_id] = element
-            self._add_to_the_set(element)
-            if self.metrics is not None:
-                self.metrics.record_in_ledger(element.element_id, self.sim.now)
+        epoched = self._epoched_ids
+        the_set = self._the_set
+        for item in items:
+            if isinstance(item, Element):
+                element_id = item.element_id
+                if (item.valid and item.size_bytes > 0
+                        and element_id not in epoched
+                        and element_id not in new_epoch):
+                    new_epoch[element_id] = item
+                    the_set.setdefault(element_id, item)
+            elif isinstance(item, EpochProof):
+                keep_proof(item)
+        if proofs:
+            self._absorb_proofs(proofs)
+        if self.metrics is not None and new_epoch:
+            self.metrics.record_in_ledger_many(new_epoch, self.sim.now)
         # Lines 26-29: the batch becomes an epoch and we send our proof for it
         # to the collector.  Proof-only batches do not create (empty) epochs —
         # otherwise the tail of a run would generate epochs, hence proofs,

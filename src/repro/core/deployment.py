@@ -648,8 +648,12 @@ def build_deployment(config: ExperimentConfig, seed: int | None = None) -> Deplo
         injected.append(element)
         metrics.record_injected(element, sim.now)
 
+    def on_elements(elements: list[Element]) -> None:
+        injected.extend(elements)
+        metrics.record_injected_many(elements, sim.now)
+
     clients = ClientPool(sim, targets=list(servers), workload=config.workload,
-                         on_element=on_element)
+                         on_element=on_element, on_elements=on_elements)
 
     membership = MembershipLog([server.name for server in servers],
                                explicit_f=config.setchain.f)

@@ -32,8 +32,8 @@ from ..workload.elements import Element
 from .base import BaseSetchainServer
 from .batch_store import BatchStore
 from .collector import Collector
-from .types import HashBatch, hash_batch_payload
-from .validation import batch_matches_hash, split_batch, valid_element, valid_hash_batch
+from .types import EpochProof, HashBatch, hash_batch_payload
+from .validation import batch_matches_hash, valid_hash_batch
 
 #: Wire size of a Request_batch query (a hash plus framing).
 _REQUEST_SIZE = 80
@@ -78,6 +78,20 @@ class HashchainServer(BaseSetchainServer):
         self._signed_hashes: set[str] = set()
         #: Hashes whose consolidation has been triggered (queued or filled).
         self._consolidated: set[str] = set()
+        #: digest → epoch-proofs of the batch still awaiting acceptance.  A
+        #: co-signed hash appears in the ledger once per signer, so every
+        #: server re-absorbs every batch ~``f+1`` times; the element pass of
+        #: a repeat absorb is a provable no-op (``the_set`` and
+        #: ``_epoched_ids`` only grow and ``setdefault`` is idempotent), so
+        #: repeats replay only the proofs, whose routing depends on the
+        #: current epoch — and accepted proofs are dropped from the replay
+        #: list as soon as they land in ``_proofs`` (re-processing an
+        #: accepted proof touches no counter, buffer, or commit).  Survives
+        #: crashes alongside the batch store.
+        self._scanned_batches: dict[str, list[EpochProof]] = {}
+        #: digest → valid elements of the first scan, consumed by the epoch
+        #: fill to rebuild the G-set without re-walking the raw batch.
+        self._scanned_elements: dict[str, list[Element]] = {}
         #: Triggered hashes awaiting their epoch, in ledger trigger order.
         #: Epochs fill strictly head-first: a hash whose contents are still
         #: being recovered blocks later ones, so epoch numbering and contents
@@ -113,6 +127,10 @@ class HashchainServer(BaseSetchainServer):
     def _after_add(self, element: Element) -> None:
         # §3 Hashchain line 5: add_to_batch(e).
         self.collector.add(element)
+
+    def _after_add_many(self, elements: list[Element]) -> None:
+        # Same flush boundaries as per-element adds, one slice-extend per flush.
+        self.collector.add_many(elements)
 
     def add_to_batch(self, item: object) -> None:
         """``add_to_batch``: used for both elements and this server's epoch-proofs."""
@@ -152,7 +170,7 @@ class HashchainServer(BaseSetchainServer):
             return
         requested_hash: str = message.payload
         items = self.store.serve(requested_hash)
-        size = sum(getattr(item, "size_bytes", 0) for item in items) if items else _REQUEST_SIZE
+        size = self.store.payload_size(requested_hash) if items else _REQUEST_SIZE
         self.send(message.sender, "batch_response", (requested_hash, items),
                   size_bytes=size)
 
@@ -189,7 +207,7 @@ class HashchainServer(BaseSetchainServer):
             self._append_own_hash_batch(hb.batch_hash)
             cost = (self.config.tx_processing_overhead
                     + len(items) * self.config.element_validation_time)
-            self._consume_batch(block, items, cost)
+            self._consume_batch(block, hb.batch_hash, items, cost)
             return
         if valid and responded_hash in self._unresolved:
             # A background retry came through (the peer healed/recovered):
@@ -269,7 +287,7 @@ class HashchainServer(BaseSetchainServer):
         if items is None:  # pragma: no cover - callers check first
             return
         self._append_own_hash_batch(digest)
-        self._absorb_batch(items)
+        self._absorb_batch(digest, items)
         self._try_fill_epochs()
 
     def _append_own_hash_batch(self, digest: str) -> None:
@@ -328,7 +346,7 @@ class HashchainServer(BaseSetchainServer):
             # hash reversal and no re-validation cost, but we still co-sign the
             # hash so it can gather its f+1 hash-batches in the ledger.
             self._append_own_hash_batch(digest)
-            self._consume_batch(block, items, overhead)
+            self._consume_batch(block, digest, items, overhead)
             return
         if self.light:
             # Light mode assumes contents are always available; a missing batch
@@ -348,20 +366,53 @@ class HashchainServer(BaseSetchainServer):
         self._request_timer.start(self.config.batch_request_timeout)
         # _finish_after will be called by the response / timeout handler.
 
-    def _consume_batch(self, block: Block, items: tuple[object, ...],
-                       duration: float) -> None:
+    def _consume_batch(self, block: Block, digest: str,
+                       items: tuple[object, ...], duration: float) -> None:
         """Absorb a batch from the block pipeline, then release it after ``duration``."""
-        self._absorb_batch(items)
+        self._absorb_batch(digest, items)
         self._try_fill_epochs()
         self._finish_after(duration)
 
-    def _absorb_batch(self, items: tuple[object, ...]) -> None:
-        """Lines 35-40: absorb the batch's epoch-proofs and feed the_set."""
-        elements, proofs = split_batch(items)
-        self._absorb_proofs(proofs)
-        for element in elements:
-            if valid_element(element) and not self._known_in_history(element):
-                self._add_to_the_set(element)
+    def _absorb_batch(self, digest: str, items: tuple[object, ...]) -> None:
+        """Lines 35-40: absorb the batch's epoch-proofs and feed the_set.
+
+        The first scan of a digest walks the items once — element adds and
+        proof absorption touch disjoint state, so the interleaving is free —
+        and remembers the split (valid elements for the epoch fill, proofs
+        for replay).  Repeat absorptions of the same digest (one per
+        co-signer's ledger hash-batch) skip the element pass and replay only
+        the proofs not yet accepted, whose routing depends on the current
+        epoch; invalid proofs are re-counted on every repeat exactly as a
+        full re-scan would.
+        """
+        cached = self._scanned_batches.get(digest)
+        if cached is not None:
+            if cached:
+                accepted = self._proofs
+                pending = [p for p in cached if p not in accepted]
+                if len(pending) != len(cached):
+                    self._scanned_batches[digest] = pending
+                if pending:
+                    self._absorb_proofs(pending)
+            return
+        proofs: list[EpochProof] = []
+        keep_proof = proofs.append
+        elements: list[Element] = []
+        keep_element = elements.append
+        epoched = self._epoched_ids
+        the_set = self._the_set
+        for item in items:
+            if isinstance(item, Element):
+                if item.valid and item.size_bytes > 0:
+                    keep_element(item)
+                    if item.element_id not in epoched:
+                        the_set.setdefault(item.element_id, item)
+            elif isinstance(item, EpochProof):
+                keep_proof(item)
+        self._scanned_batches[digest] = proofs
+        self._scanned_elements[digest] = elements
+        if proofs:
+            self._absorb_proofs(proofs)
 
     def _try_fill_epochs(self) -> None:
         """Lines 41-45: turn triggered hashes into epochs, strictly in order.
@@ -387,12 +438,25 @@ class HashchainServer(BaseSetchainServer):
             self._fill_queue.popleft()
             block = self._fill_meta.pop(digest)
             # G (line 42): last occurrence wins for conflicting duplicate ids.
-            fresh: dict[int, Element] = {}
-            for element in items:
-                if (isinstance(element, Element) and valid_element(element)
-                        and not self._known_in_history(element)):
-                    self._add_to_the_set(element)
-                    fresh[element.element_id] = element
+            # A batch this server already scanned left its valid elements in
+            # _scanned_elements (they are also in the_set already), so the
+            # G-set only needs the epoched filter as of *now*; an unscanned
+            # batch (shared-store fill) takes the full walk.
+            scanned = self._scanned_elements.pop(digest, None)
+            if scanned is not None:
+                epoched = self._epoched_ids
+                fresh = {element.element_id: element for element in scanned
+                         if element.element_id not in epoched}
+            else:
+                fresh = {}
+                epoched = self._epoched_ids
+                the_set = self._the_set
+                for element in items:
+                    if (isinstance(element, Element) and element.valid
+                            and element.size_bytes > 0
+                            and element.element_id not in epoched):
+                        the_set.setdefault(element.element_id, element)
+                        fresh[element.element_id] = element
             if fresh:
                 proof = self._byz_outgoing_proof(
                     self._record_new_epoch(set(fresh.values()), block))

@@ -4,9 +4,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from types import MappingProxyType
-from typing import Mapping
+from typing import Iterable, Mapping
 
 from ..config import EPOCH_PROOF_SIZE, HASH_BATCH_SIZE
+from ..crypto.hashing import canonical_many
 from ..errors import SetchainError
 from ..workload.elements import Element
 
@@ -14,6 +15,15 @@ from ..workload.elements import Element
 def epoch_proof_payload(epoch_number: int, epoch_hash: str) -> str:
     """Canonical string signed by an epoch-proof: ``Hash(i, history[i])`` tagged by i."""
     return f"epoch-proof|{epoch_number}|{epoch_hash}"
+
+
+def canonical_bytes_many(items: Iterable[object]) -> list[bytes]:
+    """Canonical encodings for a whole flush in one pass.
+
+    Batch counterpart of calling ``canonical_bytes()`` per item: reads the
+    cached encodings of elements/proofs/hash-batches directly, in input order.
+    """
+    return canonical_many(items)
 
 
 @dataclass(frozen=True, slots=True)
@@ -31,6 +41,9 @@ class EpochProof:
     size_bytes: int = EPOCH_PROOF_SIZE
     #: Cached canonical encoding (fields are frozen; hashed once per batch).
     _canonical: bytes = field(init=False, repr=False, compare=False, default=b"")
+    #: Cached ``hash()`` — proofs live in sets checked on every ledger batch
+    #: re-absorption, and the fields never change.
+    _hash: int = field(init=False, repr=False, compare=False, default=0)
 
     def __post_init__(self) -> None:
         if self.epoch_number < 1:
@@ -41,6 +54,15 @@ class EpochProof:
             self, "_canonical",
             (f"proof|{self.epoch_number}|{self.epoch_hash}|{self.signer}|"
              f"{self.signature.hex()}").encode())
+        # Same tuple the dataclass-generated __hash__ would hash (the compare
+        # fields, in declaration order), so set iteration orders are unchanged.
+        object.__setattr__(
+            self, "_hash",
+            hash((self.epoch_number, self.epoch_hash, self.signature,
+                  self.signer, self.size_bytes)))
+
+    def __hash__(self) -> int:
+        return self._hash
 
     def canonical_bytes(self) -> bytes:
         return self._canonical

@@ -52,25 +52,42 @@ def canonical_bytes_of(item: object) -> bytes:
     return _canonical_item(item)
 
 
+def canonical_many(items: Iterable[object]) -> list[bytes]:
+    """Canonical encodings of a whole batch in one pass.
+
+    Elements, epoch-proofs, and hash-batches all precompute their encoding in
+    a ``_canonical`` attribute; reading it directly skips a bound-method call
+    per item, which adds up over million-element flushes.  Anything else goes
+    through the generic :func:`canonical_bytes_of` dispatch.
+    """
+    return [getattr(item, "_canonical", None) or _canonical_item(item)
+            for item in items]
+
+
+def _length_framed(encoded: list[bytes]) -> bytes:
+    """Length-prefixed concatenation of already-sorted canonical encodings.
+
+    Joining once and hashing the single buffer produces the same byte stream
+    as updating the hasher blob by blob, with one C call instead of 2N.
+    """
+    parts = [len(encoded).to_bytes(8, "big")]
+    extend = parts.extend
+    for blob in encoded:
+        extend((len(blob).to_bytes(8, "big"), blob))
+    return b"".join(parts)
+
+
 def hash_batch(items: Iterable[object]) -> str:
     """Order-independent SHA-512 hash of a batch of items."""
-    encoded = sorted(map(_canonical_item, items))
     hasher = hashlib.sha512()
-    hasher.update(len(encoded).to_bytes(8, "big"))
-    for blob in encoded:
-        hasher.update(len(blob).to_bytes(8, "big"))
-        hasher.update(blob)
+    hasher.update(_length_framed(sorted(canonical_many(items))))
     return hasher.hexdigest()
 
 
 def hash_epoch(epoch_number: int, elements: Iterable[object]) -> str:
     """SHA-512 hash of ``(epoch_number, elements)`` — the value epoch-proofs sign."""
-    encoded = sorted(map(_canonical_item, elements))
     hasher = hashlib.sha512()
     hasher.update(b"epoch:")
     hasher.update(int(epoch_number).to_bytes(8, "big"))
-    hasher.update(len(encoded).to_bytes(8, "big"))
-    for blob in encoded:
-        hasher.update(len(blob).to_bytes(8, "big"))
-        hasher.update(blob)
+    hasher.update(_length_framed(sorted(canonical_many(elements))))
     return hasher.hexdigest()

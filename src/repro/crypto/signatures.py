@@ -25,13 +25,18 @@ from __future__ import annotations
 import hashlib
 import hmac
 from abc import ABC, abstractmethod
+from itertools import islice
+from typing import Sequence
 
 from ..errors import ConfigurationError, CryptoError
 from . import ed25519
 from .keys import KeyPair, PublicKeyInfrastructure, derive_secret_seed
 
 
-#: Verified-triple cache bound; the cache is cleared wholesale when full.
+#: Verified-triple cache bound.  When full, only the *oldest half* (FIFO
+#: order) is retired: a wholesale clear would force every server in a large
+#: run to re-verify the whole working set at once, exactly on the runs big
+#: enough to fill the cache.
 _VERIFY_CACHE_MAX = 1 << 16
 
 
@@ -49,7 +54,9 @@ class SignatureScheme(ABC):
 
     def __init__(self, pki: PublicKeyInfrastructure) -> None:
         self.pki = pki
-        self._verified: set[tuple[str, str, bytes]] = set()
+        # Insertion-ordered on purpose: eviction is FIFO, and dict order is
+        # deterministic where set order would depend on PYTHONHASHSEED.
+        self._verified: dict[tuple[str, str, bytes], None] = {}
 
     @abstractmethod
     def generate_keypair(self, owner: str, deployment_seed: int = 0) -> KeyPair:
@@ -59,6 +66,13 @@ class SignatureScheme(ABC):
     def sign(self, keypair: KeyPair, message: str) -> bytes:
         """Sign ``message`` with the private half of ``keypair``."""
 
+    def sign_many(self, keypair: KeyPair,
+                  messages: Sequence[str]) -> list[bytes]:
+        """Sign a batch; element ``i`` is byte-identical to ``sign(keypair,
+        messages[i])``.  Backends share per-key setup across the batch."""
+        sign = self.sign
+        return [sign(keypair, message) for message in messages]
+
     def verify(self, owner: str, message: str, signature: bytes) -> bool:
         """True iff ``signature`` over ``message`` verifies for ``owner``'s registered key."""
         key = (owner, message, signature)
@@ -66,14 +80,51 @@ class SignatureScheme(ABC):
             return True
         if not self._verify(owner, message, signature):
             return False
-        if len(self._verified) >= _VERIFY_CACHE_MAX:
-            self._verified.clear()
-        self._verified.add(key)
+        self._remember((key,))
         return True
+
+    def verify_many(self, triples: Sequence[tuple[str, str, bytes]]) -> list[bool]:
+        """Batch :meth:`verify`: one cache-membership pass, backend batch
+        verification of the misses only, one bulk insert of the fresh
+        positives.  Verdict ``i`` always equals ``verify(*triples[i])``;
+        failures never raise and never poison the rest of the batch.
+        """
+        cache = self._verified
+        results = [True] * len(triples)
+        misses: list[int] = []
+        for index, triple in enumerate(triples):
+            if triple not in cache:
+                misses.append(index)
+        if misses:
+            verdicts = self._verify_many([triples[i] for i in misses])
+            fresh: list[tuple[str, str, bytes]] = []
+            for index, verdict in zip(misses, verdicts):
+                if verdict:
+                    fresh.append(triples[index])
+                else:
+                    results[index] = False
+            if fresh:
+                self._remember(fresh)
+        return results
+
+    def _remember(self, keys: Sequence[tuple[str, str, bytes]]) -> None:
+        """Memoise fresh positives, retiring the oldest half when full."""
+        cache = self._verified
+        if len(cache) >= _VERIFY_CACHE_MAX:
+            for stale in list(islice(cache, len(cache) // 2)):
+                del cache[stale]
+        for key in keys:
+            cache[key] = None
 
     @abstractmethod
     def _verify(self, owner: str, message: str, signature: bytes) -> bool:
         """Backend verification (uncached)."""
+
+    def _verify_many(self, triples: Sequence[tuple[str, str, bytes]]) -> list[bool]:
+        """Backend batch verification (uncached); override to share work."""
+        verify = self._verify
+        return [verify(owner, message, signature)
+                for owner, message, signature in triples]
 
 
 class Ed25519Scheme(SignatureScheme):
@@ -89,12 +140,41 @@ class Ed25519Scheme(SignatureScheme):
     def sign(self, keypair: KeyPair, message: str) -> bytes:
         return ed25519.sign(keypair.secret, message.encode())
 
+    def sign_many(self, keypair: KeyPair,
+                  messages: Sequence[str]) -> list[bytes]:
+        return ed25519.sign_many(keypair.secret,
+                                 [message.encode() for message in messages])
+
     def _verify(self, owner: str, message: str, signature: bytes) -> bool:
         try:
             public = self.pki.public_key_of(owner)
         except CryptoError:
             return False
         return ed25519.verify(public, message.encode(), signature)
+
+    def _verify_many(self, triples: Sequence[tuple[str, str, bytes]]) -> list[bool]:
+        # Resolve each distinct owner through the PKI once, then hand the
+        # whole batch to the backend (which shares per-key decode work).
+        publics: dict[str, bytes | None] = {}
+        public_key_of = self.pki.public_key_of
+        items: list[tuple[bytes, bytes, bytes]] = []
+        slots: list[int] = []
+        results = [False] * len(triples)
+        for index, (owner, message, signature) in enumerate(triples):
+            if owner in publics:
+                public = publics[owner]
+            else:
+                try:
+                    public = public_key_of(owner)
+                except CryptoError:
+                    public = None
+                publics[owner] = public
+            if public is not None:
+                items.append((public, message.encode(), signature))
+                slots.append(index)
+        for slot, verdict in zip(slots, ed25519.verify_many(items)):
+            results[slot] = verdict
+        return results
 
 
 class SimulatedScheme(SignatureScheme):
@@ -128,6 +208,16 @@ class SimulatedScheme(SignatureScheme):
                            keypair.owner.encode() + b"|" + message.encode(),
                            "sha512")[:64]
 
+    def sign_many(self, keypair: KeyPair,
+                  messages: Sequence[str]) -> list[bytes]:
+        # The owner prefix is encoded once; the loop is a single tight
+        # comprehension over the C one-shot HMAC.
+        secret = keypair.secret
+        prefix = keypair.owner.encode() + b"|"
+        digest = hmac.digest
+        return [digest(secret, prefix + message.encode(), "sha512")[:64]
+                for message in messages]
+
     def _verify(self, owner: str, message: str, signature: bytes) -> bool:
         if not self.pki.knows(owner):
             return False
@@ -137,6 +227,23 @@ class SimulatedScheme(SignatureScheme):
         expected = hmac.digest(secret, owner.encode() + b"|" + message.encode(),
                                "sha512")[:64]
         return hmac.compare_digest(expected, signature)
+
+    def _verify_many(self, triples: Sequence[tuple[str, str, bytes]]) -> list[bool]:
+        knows = self.pki.knows
+        secret_of = self._secrets.get
+        digest = hmac.digest
+        compare = hmac.compare_digest
+        results: list[bool] = []
+        append = results.append
+        for owner, message, signature in triples:
+            secret = secret_of(owner)
+            if secret is None or not knows(owner):
+                append(False)
+                continue
+            expected = digest(secret, owner.encode() + b"|" + message.encode(),
+                              "sha512")[:64]
+            append(compare(expected, signature))
+        return results
 
 
 _SCHEMES = {

@@ -10,6 +10,8 @@ not the quantity being measured.
 
 from __future__ import annotations
 
+from collections import deque
+
 from ..config import LedgerConfig
 from ..errors import LedgerError
 from ..sim.process import PeriodicTask
@@ -24,7 +26,9 @@ class IdealLedger:
     def __init__(self, sim: Simulator, config: LedgerConfig | None = None) -> None:
         self.sim = sim
         self.config = config if config is not None else LedgerConfig()
-        self._pending: list[Transaction] = []
+        # A deque: block production pops from the head, and popping a list
+        # head is O(pending) — quadratic over a million-element backlog.
+        self._pending: deque[Transaction] = deque()
         self._pending_ids: set[int] = set()
         self._apps: list[Application] = []
         self._height = 0
@@ -86,7 +90,7 @@ class IdealLedger:
                 # mirroring CometBFT's behaviour of never splitting a tx.
                 if included:
                     break
-            included.append(self._pending.pop(0))
+            included.append(self._pending.popleft())
             self._pending_ids.discard(tx.tx_id)
             budget -= tx.size_bytes
             if budget <= 0:

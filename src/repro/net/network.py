@@ -54,6 +54,12 @@ class Network:
         self.messages_duplicated = 0
         self.bytes_delivered = 0
         self._rng = sim.rng.derive("network")
+        #: Storm grouping key for delivery events: all deliveries of this
+        #: network share one handler (:meth:`_deliver_batch`), so same-instant
+        #: deliveries — a multicast under constant latency — collapse into a
+        #: single batched dispatch.  Delivery events are never cancelled,
+        #: which the storm contract requires.
+        self._storm_key = object()
 
     # -- membership -----------------------------------------------------------
 
@@ -208,11 +214,11 @@ class Network:
         if message.sender == message.recipient:
             # Local self-delivery has no network latency but is still async so
             # handlers never re-enter each other.
-            self.sim.call_soon(lambda: self._deliver(message))
+            self.sim.call_soon_storm(self._deliver_batch, message, self._storm_key)
             return
         delay = self.latency.delay(self._rng, message.sender, message.recipient,
                                    message.size_bytes)
-        self.sim.call_in(delay, lambda: self._deliver(message))
+        self.sim.call_in_storm(delay, self._deliver_batch, message, self._storm_key)
 
     def _transmit_faulty(self, message: Message) -> None:
         """The single fault-aware scheduling path.
@@ -232,11 +238,12 @@ class Network:
             extra += delay_rule(message)
         local = message.sender == message.recipient
         if local and extra <= 0.0:
-            self.sim.call_soon(lambda: self._deliver(message))
+            self.sim.call_soon_storm(self._deliver_batch, message, self._storm_key)
         else:
             base = 0.0 if local else self.latency.delay(
                 self._rng, message.sender, message.recipient, message.size_bytes)
-            self.sim.call_in(base + extra, lambda: self._deliver(message))
+            self.sim.call_in_storm(base + extra, self._deliver_batch, message,
+                                   self._storm_key)
         for duplicate_rule in self._duplicate_rules:
             if duplicate_rule(message):
                 # The duplicate copy draws its own latency (and delay-rule
@@ -248,8 +255,8 @@ class Network:
                 dup_extra = 0.0
                 for delay_rule in self._delay_rules:
                     dup_extra += delay_rule(message)
-                self.sim.call_in(dup_base + dup_extra,
-                                 lambda: self._deliver(message))
+                self.sim.call_in_storm(dup_base + dup_extra, self._deliver_batch,
+                                       message, self._storm_key)
 
     def multicast(self, sender: str, msg_type: str, payload: object,
                   size_bytes: int = 0,
@@ -290,10 +297,10 @@ class Network:
                 self._transmit_faulty(message)
                 continue
             if recipient == sender:
-                sim.call_soon(lambda m=message: self._deliver(m))
+                sim.call_soon_storm(self._deliver_batch, message, self._storm_key)
                 continue
             delay = delay_of(rng, sender, recipient, size_bytes)
-            sim.call_in(delay, lambda m=message: self._deliver(m))
+            sim.call_in_storm(delay, self._deliver_batch, message, self._storm_key)
         return len(recipients)
 
     def _deliver(self, message: Message) -> None:
@@ -305,3 +312,23 @@ class Network:
         self.messages_delivered += 1
         self.bytes_delivered += message.size_bytes
         node.deliver(message)
+
+    def _deliver_batch(self, messages: list[Message]) -> None:
+        """Deliver a storm run of same-instant messages, strictly in order.
+
+        Per-message behaviour — crash checks, drop accounting, handler
+        invocation — is exactly that of :meth:`_deliver` once per message;
+        only the event-loop dispatch is shared.  Recipient state is re-read
+        for every message, so a handler early in the run crashing (or
+        retiring) a node affects later deliveries just as it would have
+        under scalar dispatch.
+        """
+        nodes = self._nodes
+        for message in messages:
+            node = nodes.get(message.recipient)
+            if node is None or node.crashed:
+                self.messages_dropped += 1
+                continue
+            self.messages_delivered += 1
+            self.bytes_delivered += message.size_bytes
+            node.deliver(message)

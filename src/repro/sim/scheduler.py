@@ -67,6 +67,35 @@ class Simulator:
         """Schedule ``callback`` at the current time, after already-queued events."""
         return self._queue.push(self._now, callback, priority)
 
+    # -- storm scheduling -------------------------------------------------------
+
+    def call_at_storm(self, time: float, handler: Callable[[list], None],
+                      payload: object, key: object, priority: int = 0) -> Event:
+        """Storm variant of :meth:`call_at`."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event at {time:.6f}, current time is {self._now:.6f}"
+            )
+        return self._queue.push_storm(time, handler, payload, key, priority)
+
+    def call_in_storm(self, delay: float, handler: Callable[[list], None],
+                      payload: object, key: object, priority: int = 0) -> Event:
+        """Schedule a batchable event ``delay`` seconds from now.
+
+        Consecutive storm events with identical ``(time, priority, key)`` are
+        dispatched as one ``handler(payloads)`` call — see
+        :meth:`~repro.sim.events.EventQueue.push_storm` for the contract.
+        """
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        return self._queue.push_storm(self._now + delay, handler, payload, key,
+                                      priority)
+
+    def call_soon_storm(self, handler: Callable[[list], None], payload: object,
+                        key: object, priority: int = 0) -> Event:
+        """Storm variant of :meth:`call_soon`."""
+        return self._queue.push_storm(self._now, handler, payload, key, priority)
+
     # -- execution ------------------------------------------------------------
 
     def step(self) -> bool:
@@ -78,7 +107,12 @@ class Simulator:
             raise SimulationError("event queue produced an event in the past")
         self._now = event.time
         self.events_executed += 1
-        event.callback()
+        if event.storm_key is None:
+            event.callback()
+        else:
+            # Scalar dispatch of a storm event: a one-element run.  The
+            # budgeted path never batches, so budget accounting stays exact.
+            event.callback([event.payload])
         return True
 
     def _drain(self, horizon: float) -> None:
@@ -93,13 +127,24 @@ class Simulator:
         queue = self._queue
         if self.max_events is None:
             pop_due = queue.pop_due
+            take_storm_run = queue.take_storm_run
             while True:
                 event = pop_due(horizon)
                 if event is None:
                     return
                 self._now = event.time
-                self.events_executed += 1
-                event.callback()
+                key = event.storm_key
+                if key is None:
+                    self.events_executed += 1
+                    event.callback()
+                    continue
+                # Storm dispatch: drain the whole same-instant run in one
+                # handler call.  Every member still counts as an executed
+                # event, so progress counters match the scalar schedule.
+                payloads = [event.payload]
+                run = take_storm_run(event.time, event.priority, key, payloads)
+                self.events_executed += 1 + run
+                event.callback(payloads)
         else:
             while True:
                 next_time = queue.peek_time()

@@ -58,6 +58,9 @@ class Element:
     #: Cached canonical encoding — every batch/epoch hash re-reads it, so it
     #: is computed once at construction (the fields are frozen).
     _canonical: bytes = field(init=False, repr=False, compare=False, default=b"")
+    #: Cached ``hash()`` — elements live in epoch/history sets rebuilt on hot
+    #: paths, and the fields never change.
+    _hash: int = field(init=False, repr=False, compare=False, default=0)
 
     def __post_init__(self) -> None:
         if self.size_bytes <= 0:
@@ -66,6 +69,16 @@ class Element:
                            element_signing_payload(self.element_id, self.client,
                                                    self.size_bytes,
                                                    self.body_digest).encode())
+        # Same tuple the dataclass-generated __hash__ would hash (the compare
+        # fields, in declaration order), so set iteration orders are unchanged.
+        object.__setattr__(
+            self, "_hash",
+            hash((self.element_id, self.client, self.size_bytes,
+                  self.body_digest, self.signature, self.created_at,
+                  self.valid)))
+
+    def __hash__(self) -> int:
+        return self._hash
 
     def canonical_bytes(self) -> bytes:
         """Stable encoding used for batch/epoch hashing (cached)."""
@@ -85,3 +98,15 @@ def make_element(client: str, size_bytes: int, body_digest: str = "",
     return Element(element_id=element_id, client=client, size_bytes=size_bytes,
                    body_digest=body_digest or f"digest-{element_id}",
                    signature=signature, created_at=created_at, valid=valid)
+
+
+def make_elements(client: str, sizes: list[int],
+                  created_at: float = 0.0) -> list[Element]:
+    """Create one valid element per size — ids identical to ``make_element``
+    called once per size, with the constructor lookups hoisted."""
+    counter = _element_counter
+    make = Element
+    return [make(element_id=(eid := next(counter)), client=client,
+                 size_bytes=size, body_digest=f"digest-{eid}",
+                 created_at=created_at)
+            for size in sizes]

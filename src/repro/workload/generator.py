@@ -15,7 +15,7 @@ from dataclasses import dataclass
 
 from ..errors import ConfigurationError
 from ..sim.rng import DeterministicRNG
-from .elements import Element, make_element
+from .elements import Element, make_element, make_elements
 
 #: Smallest element the generator will emit (a minimal signed transfer).
 MIN_ELEMENT_SIZE = 64
@@ -62,6 +62,20 @@ class ArbitrumLikeGenerator:
         size = self.rng.lognormvariate(self.stats.lognormal_mu, self.stats.lognormal_sigma)
         return max(MIN_ELEMENT_SIZE, int(round(size)))
 
+    def next_sizes(self, count: int) -> list[int]:
+        """Draw ``count`` element sizes — the same stream of draws as calling
+        :meth:`next_size` ``count`` times, with the log-normal parameters
+        (properties recomputing two logs per access) resolved once."""
+        if count <= 0:
+            return []
+        if self.stats.std == 0:
+            return [max(MIN_ELEMENT_SIZE, int(round(self.stats.mean)))] * count
+        draw = self.rng.lognormvariate
+        mu = self.stats.lognormal_mu
+        sigma = self.stats.lognormal_sigma
+        return [max(MIN_ELEMENT_SIZE, int(round(draw(mu, sigma))))
+                for _ in range(count)]
+
     def next_element(self, client: str, now: float = 0.0) -> Element:
         """Generate one valid, signed-by-construction element for ``client``."""
         size = self.next_size()
@@ -70,8 +84,11 @@ class ArbitrumLikeGenerator:
         return make_element(client=client, size_bytes=size, created_at=now)
 
     def batch(self, client: str, count: int, now: float = 0.0) -> list[Element]:
-        """Generate ``count`` elements at once."""
-        return [self.next_element(client, now) for _ in range(count)]
+        """Generate ``count`` elements at once (one size pass, one build pass)."""
+        sizes = self.next_sizes(count)
+        self.generated += count
+        self._size_total += sum(sizes)
+        return make_elements(client, sizes, created_at=now)
 
     @property
     def observed_mean_size(self) -> float:
