@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-pytest bench-smoke million million-smoke profile chaos-smoke byz-smoke membership-smoke service-smoke list-scenarios clean
+.PHONY: test bench bench-pytest bench-smoke million million-smoke profile chaos-smoke byz-smoke membership-smoke service-smoke trace-smoke trace-smoke-core trace-bench-gate list-scenarios clean
 
 # Scenario to profile with `make profile` (override: make profile SCENARIO=...).
 SCENARIO ?= bench/hashchain-heavy
@@ -26,7 +26,8 @@ million-smoke:
 
 # cProfile one scenario (override the target: make profile SCENARIO=bench/vanilla).
 profile:
-	$(PYTHON) -m repro.bench profile $(SCENARIO) --limit 30
+	$(PYTHON) -m repro.bench profile $(SCENARIO) --limit 30 \
+	  --out-collapsed results/profile-collapsed.txt
 
 # One registry scenario through the CLI, persisting its RunResult artifact.
 bench-smoke:
@@ -79,6 +80,37 @@ service-smoke:
 	$(PYTHON) -m repro serve service/smoke --db results/service-smoke.sqlite \
 	  --rate 100 --duration 2 --settle 6 --min-availability 0.9
 	$(PYTHON) -m repro service inspect results/service-smoke.sqlite
+
+# Observability end to end: trace a chaos and a service scenario (both export
+# formats), validate the trace schemas, prove trace files byte-identical
+# under serial vs parallel sweeps, validate the Prometheus exposition against
+# a live endpoint, and gate a tracing-disabled bench run within 2% of the
+# checked-in PR 8 baseline (tracing must cost nothing when off).  The gate
+# lives in its own target so CI can run it non-blocking on noisy runners.
+trace-smoke: trace-smoke-core trace-bench-gate
+
+trace-smoke-core:
+	$(PYTHON) -m repro trace chaos/smoke --seed 7 \
+	  --out results/trace-chaos.trace.json
+	$(PYTHON) -m repro.obs validate-trace results/trace-chaos.trace.json \
+	  --min-tracks 3
+	$(PYTHON) -m repro trace service/smoke --seed 7 --format jsonl \
+	  --out results/trace-service.trace.jsonl
+	$(PYTHON) -m repro.obs validate-trace results/trace-service.trace.jsonl \
+	  --min-tracks 3
+	$(PYTHON) -m repro sweep --contains chaos/smoke --jobs 1 --quiet --seed 7 \
+	  --trace-sample 1.0 --trace-dir results/trace-j1 --out results/trace-j1
+	$(PYTHON) -m repro sweep --contains chaos/smoke --jobs 4 --quiet --seed 7 \
+	  --trace-sample 1.0 --trace-dir results/trace-j4 --out results/trace-j4
+	cmp results/trace-j1/chaos__smoke.trace.json results/trace-j4/chaos__smoke.trace.json
+	@echo "chaos/smoke trace byte-identical under --jobs 1 vs --jobs 4"
+	$(PYTHON) -m repro.obs prom-smoke
+
+trace-bench-gate:
+	$(PYTHON) -m repro.bench run --jobs 1 --repeat 3 --label trace-smoke-untraced \
+	  --out results/BENCH_TRACE_SMOKE.json
+	$(PYTHON) -m repro.bench compare BENCH_PR8.json results/BENCH_TRACE_SMOKE.json \
+	  --max-regression 0.02
 
 list-scenarios:
 	$(PYTHON) -m repro list-scenarios

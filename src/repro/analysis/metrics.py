@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Mapping
 
+from ..obs.trace import TRACK_LEDGER
 from ..workload.elements import Element
 
 
@@ -111,6 +112,11 @@ class MetricsCollector:
         self._ledger_hash_done: set[str] = set()
         #: (committed_total, sorted times) behind :meth:`commit_times`.
         self._commit_times_cache: tuple[int, list[float]] | None = None
+        #: (committed_total, sorted latencies) behind :meth:`commit_latencies`.
+        self._commit_latencies_cache: tuple[int, list[float]] | None = None
+        #: Lifecycle tracer, set by ``build_deployment`` when ``trace_sample``
+        #: is configured; ``None`` keeps every hot path to one identity check.
+        self.tracer = None
 
     # -- regions ---------------------------------------------------------------
 
@@ -153,10 +159,14 @@ class MetricsCollector:
         if record.injected_at is None:
             record.injected_at = time
             self._injected_total += 1
+        if self.tracer is not None:
+            self.tracer.injected(element.element_id, time)
 
     def record_injected_many(self, elements: Iterable[Element],
                              time: float) -> None:
         """Batch :meth:`record_injected` for one injection tick."""
+        if self.tracer is not None:
+            elements = list(elements)
         records = self.elements
         make = ElementRecord
         fresh = 0
@@ -170,6 +180,9 @@ class MetricsCollector:
                 record.injected_at = time
                 fresh += 1
         self._injected_total += fresh
+        if self.tracer is not None:
+            self.tracer.injected_many(
+                [element.element_id for element in elements], time)
 
     def record_added(self, element: Element, server: str, time: float) -> None:
         record = self._record(element.element_id)
@@ -210,11 +223,15 @@ class MetricsCollector:
         record = self._record(element_id)
         if record.in_ledger_at is None:
             record.in_ledger_at = time
+        if self.tracer is not None:
+            self.tracer.phase_one(element_id, "in_ledger", time, TRACK_LEDGER)
 
     def record_in_ledger_many(self, element_ids: Iterable[int],
                               time: float) -> None:
         """Batch :meth:`record_in_ledger` — every server re-observes every
         ledger batch, so this runs ``servers × elements`` times per run."""
+        if self.tracer is not None:
+            element_ids = list(element_ids)
         records = self.elements
         make = ElementRecord
         for element_id in element_ids:
@@ -223,6 +240,8 @@ class MetricsCollector:
                 records[element_id] = record = make(element_id=element_id)
             if record.in_ledger_at is None:
                 record.in_ledger_at = time
+        if self.tracer is not None:
+            self.tracer.phase_many(element_ids, "in_ledger", time, TRACK_LEDGER)
 
     def record_in_ledger_by_hash(self, batch_hash: str, time: float) -> None:
         if batch_hash in self._ledger_hash_done:
@@ -261,6 +280,10 @@ class MetricsCollector:
                                time: float, observer: str = "?") -> None:
         if epoch_number not in self.epoch_commit_times:
             self.epoch_commit_times[epoch_number] = time
+        if self.tracer is not None:
+            elements = list(elements)
+            self.tracer.phase_many([e.element_id for e in elements],
+                                   "committed", time, observer)
         region = self.region_of.get(observer)
         records = self.elements
         make = ElementRecord
@@ -328,9 +351,23 @@ class MetricsCollector:
         return times
 
     def commit_latencies(self) -> list[float]:
-        """Injection-to-commit latencies of committed elements."""
+        """Sorted injection-to-commit latencies of committed elements.
+
+        Cached exactly like :meth:`commit_times` — ``_committed_total`` only
+        grows, and a latency exists once an element commits, so the counter is
+        a change key here too.  The resilience and membership reports both
+        call this several times per packaging pass; without the cache each
+        call re-scans (and re-sorts) every element record.  Callers must
+        treat the returned list as read-only; every existing consumer does.
+        """
+        cached = self._commit_latencies_cache
+        total = self._committed_total
+        if cached is not None and cached[0] == total:
+            return cached[1]
         values = [r.commit_latency() for r in self.elements.values()]
-        return sorted(v for v in values if v is not None)
+        latencies = sorted(v for v in values if v is not None)
+        self._commit_latencies_cache = (total, latencies)
+        return latencies
 
     def records(self) -> list[ElementRecord]:
         """All element records, ordered by injection time (unknown last)."""

@@ -54,7 +54,7 @@ _LAYER_FIELDS: dict[str, tuple[str, ...]] = {
     "workload": tuple(f.name for f in fields(WorkloadConfig)),
 }
 
-_TOP_FIELDS = ("ledger_backend", "drain_duration", "label")
+_TOP_FIELDS = ("ledger_backend", "drain_duration", "label", "trace_sample")
 
 
 _did_you_mean = did_you_mean
@@ -143,6 +143,8 @@ class ScenarioBuilder:
         builder._top = {"ledger_backend": config.ledger_backend,
                         "drain_duration": config.drain_duration,
                         "label": config.label}
+        if config.trace_sample is not None:
+            builder._top["trace_sample"] = config.trace_sample
         if config.topology is not None:
             topology = config.topology
             builder._topology = {
@@ -509,6 +511,24 @@ class ScenarioBuilder:
     def label(self, text: str) -> "ScenarioBuilder":
         """Label used by reports (auto-derived when not set)."""
         return self._fork_top(label=str(text))
+
+    # -- observability -----------------------------------------------------------
+
+    def trace(self, sample: float = 1.0) -> "ScenarioBuilder":
+        """Enable deterministic lifecycle tracing (see :mod:`repro.obs`).
+
+        ``sample`` is the per-element sampling rate in (0, 1]; the sampling
+        stream is derived from the run seed (never ``sim.rng``), so a traced
+        run commits exactly what the untraced run commits.  The run's
+        :class:`RunResult` gains a ``telemetry`` section, and trace files can
+        be exported via ``repro trace`` or
+        :func:`repro.obs.export.write_trace`.
+        """
+        sample = float(sample)
+        if not 0.0 < sample <= 1.0:
+            raise ConfigurationError(
+                f"trace sample must be within (0, 1], got {sample!r}")
+        return self._fork_top(trace_sample=sample)
 
     # -- escape hatches: validated per-layer overrides ---------------------------
 

@@ -12,7 +12,10 @@ Subcommands:
 * ``report`` — re-render saved :class:`RunResult` JSON artifacts as the
   standard summary table (plus a per-region breakdown for multi-region runs
   and a resilience breakdown for fault-injected runs), without re-running
-  anything.
+  anything; ``--phases`` adds the per-phase latency percentiles of traced
+  artifacts;
+* ``trace`` — run one scenario with lifecycle tracing enabled and write the
+  trace as a Chrome ``trace_event`` file (Perfetto-loadable) or JSONL.
 """
 
 from __future__ import annotations
@@ -71,11 +74,41 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--jobs", type=jobs_arg, default=1, metavar="N|auto",
                          help="worker processes for the sweep "
                               "(default 1; 'auto' = all cores)")
+    sweep_p.add_argument("--trace-sample", type=float, default=None,
+                         metavar="F",
+                         help="enable lifecycle tracing at this sample rate "
+                              "(0 < F <= 1; off by default)")
+    sweep_p.add_argument("--trace-dir", metavar="DIR", default=None,
+                         help="write one trace file per scenario here "
+                              "(requires --trace-sample)")
+    sweep_p.add_argument("--trace-format", choices=("chrome", "jsonl"),
+                         default="chrome",
+                         help="trace file format (default chrome)")
 
     report_p = sub.add_parser("report",
                               help="summarise saved RunResult JSON files")
     report_p.add_argument("files", nargs="+", metavar="JSON",
                           help="RunResult artifacts produced by run/sweep")
+    report_p.add_argument("--phases", action="store_true",
+                          help="add per-phase latency percentiles "
+                               "(traced artifacts only)")
+
+    trace_p = sub.add_parser("trace",
+                             help="run one scenario with lifecycle tracing "
+                                  "and write a trace file")
+    trace_p.add_argument("name",
+                         help="registered scenario name (see list-scenarios)")
+    _add_run_options(trace_p)
+    trace_p.add_argument("--out", metavar="PATH", required=True,
+                         help="trace file to write")
+    trace_p.add_argument("--format", choices=("chrome", "jsonl"),
+                         default="chrome",
+                         help="trace file format (default chrome; load "
+                              "chrome traces in Perfetto / about:tracing)")
+    trace_p.add_argument("--sample", type=float, default=1.0,
+                         help="element sampling rate in (0, 1] (default 1.0)")
+    trace_p.add_argument("--json", metavar="PATH",
+                         help="also write the RunResult JSON artifact here")
 
     # Service mode (repro.service): the arguments are declared by the service
     # package; the handlers are imported lazily at dispatch time.
@@ -177,9 +210,18 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if not entries:
         print("nothing to run (--limit 0)", file=sys.stderr)
         return 0
+    if args.trace_dir is not None and args.trace_sample is None:
+        print("--trace-dir requires --trace-sample", file=sys.stderr)
+        return 1
     out_dir = Path(args.out)
+    suffix = ".trace.json" if args.trace_format == "chrome" else ".trace.jsonl"
     specs = [RunSpec(name=entry.name, scale=args.scale, seed=args.seed,
-                     to_completion=args.to_completion) for entry in entries]
+                     to_completion=args.to_completion,
+                     trace_sample=args.trace_sample,
+                     trace_out=(None if args.trace_dir is None else str(
+                         Path(args.trace_dir)
+                         / (entry.name.replace("/", "__") + suffix))),
+                     trace_format=args.trace_format) for entry in entries]
     if not args.quiet and args.jobs > 1:
         print(f"running {len(specs)} scenarios on {args.jobs} workers")
     # Results stream back in input order and are persisted one by one, so an
@@ -289,6 +331,53 @@ def _cmd_report(args: argparse.Namespace) -> int:
             ["scenario", "epochs", "joins", "leaves", "final n",
              "catch-up (s)", "join→commit (s)"],
             member_rows, title="membership (elastic runs)"))
+    if args.phases:
+        from ..obs.trace import PHASES
+        traced = [r for r in results if r.telemetry]
+        if not traced:
+            print()
+            print("no traced artifacts (run with `repro trace` or "
+                  "--trace-sample for --phases data)")
+            return 0
+        phase_rows = []
+        for result in traced:
+            assert result.telemetry is not None
+            phases = result.telemetry.get("phases", {})
+            for phase in PHASES[1:]:
+                stats = phases.get(phase)
+                if stats is None:
+                    continue
+                phase_rows.append([
+                    result.label, phase, stats.get("count", 0),
+                    f"{stats['p50']:.4f}", f"{stats['p95']:.4f}",
+                    f"{stats['p99']:.4f}", f"{stats['max']:.4f}"])
+        print()
+        print(render_table(
+            ["scenario", "phase", "count", "p50 (s)", "p95 (s)", "p99 (s)",
+             "max (s)"],
+            phase_rows, title="phase latency since injection (traced runs)"))
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    # Routed through execute_spec — the exact code path sweep workers run —
+    # so `repro trace` and `repro sweep --trace-dir` write byte-identical
+    # files for the same (scenario, scale, seed, sample).
+    from .parallel import RunSpec, execute_spec
+    spec = RunSpec(name=args.name, scale=args.scale, seed=args.seed,
+                   to_completion=args.to_completion, trace_sample=args.sample,
+                   trace_out=args.out, trace_format=args.format)
+    result = execute_spec(spec)
+    if not args.quiet:
+        _print_summary(result)
+        telemetry = result.telemetry or {}
+        print(f"  trace                : {args.out} ({args.format}, "
+              f"{telemetry.get('trace_events', 0)} events, "
+              f"{telemetry.get('sampled_elements', 0)} sampled elements)")
+    if args.json:
+        path = result.save(args.json)
+        if not args.quiet:
+            print(f"  wrote {path}")
     return 0
 
 
@@ -307,6 +396,7 @@ _COMMANDS = {
     "run": _cmd_run,
     "sweep": _cmd_sweep,
     "report": _cmd_report,
+    "trace": _cmd_trace,
     "serve": _cmd_serve,
     "service": _cmd_service,
 }

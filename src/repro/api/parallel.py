@@ -59,14 +59,41 @@ class RunSpec:
     scale: float = 1.0
     seed: int | None = None
     to_completion: bool = False
+    #: Lifecycle-tracing sample rate; ``None`` runs untraced (the default),
+    #: keeping artifacts byte-identical to the pre-observability schema.
+    trace_sample: float | None = None
+    #: Where to write the trace file (requires ``trace_sample``); ``None``
+    #: keeps the telemetry in the RunResult only.
+    trace_out: str | None = None
+    trace_format: str = "chrome"
 
 
 def execute_spec(spec: RunSpec) -> RunResult:
-    """Run one spec in a fresh id namespace (the pool worker entry point)."""
+    """Run one spec in a fresh id namespace (the pool worker entry point).
+
+    Traced specs run the same pipeline with ``trace_sample`` overridden on
+    the resolved config; the tracer draws from its own derived RNG stream, so
+    the simulation schedule — and therefore the trace file — is a pure
+    function of ``(name, scale, seed, trace_sample)``, independent of which
+    worker process runs the spec.
+    """
     from . import run
     reset_run_counters()
-    return run(spec.name, scale=spec.scale, seed=spec.seed,
-               to_completion=spec.to_completion)
+    if spec.trace_sample is None:
+        return run(spec.name, scale=spec.scale, seed=spec.seed,
+                   to_completion=spec.to_completion)
+    from ..experiments.runner import run_scenario
+    from ..obs.export import write_trace
+    from .session import _resolve_config
+    config = _resolve_config(spec.name).with_overrides(
+        trace_sample=spec.trace_sample)
+    outcome = run_scenario(config, scale=spec.scale, seed=spec.seed,
+                           to_completion=spec.to_completion)
+    if spec.trace_out is not None:
+        assert outcome.deployment.tracer is not None
+        write_trace(outcome.deployment.tracer, spec.trace_out,
+                    fmt=spec.trace_format, label=outcome.config.label)
+    return RunResult.from_experiment(outcome)
 
 
 def iter_spec_results(specs: Sequence[RunSpec],

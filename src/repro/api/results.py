@@ -66,6 +66,9 @@ def config_echo(config: ExperimentConfig) -> dict[str, Any]:
         del echo["faults"]
     else:
         echo["faults"] = faults.to_dict()
+    if config.trace_sample is None:
+        # Tracing-off artifacts stay byte-identical to the pre-obs schema.
+        del echo["trace_sample"]
     return echo
 
 
@@ -105,6 +108,11 @@ class RunResult:
     #: ``None`` — and absent from the JSON artifact — for runs whose
     #: membership never changed, keeping their artifacts byte-identical.
     membership: dict[str, Any] | None = None
+    #: Tracing telemetry (sampled-span counts, per-phase latency percentiles,
+    #: cache counters, flush-size histogram); ``None`` — and absent from the
+    #: JSON artifact — when tracing is disabled, keeping untraced artifacts
+    #: byte-identical.
+    telemetry: dict[str, Any] | None = None
     schema_version: int = SCHEMA_VERSION
 
     # -- construction ----------------------------------------------------------
@@ -131,6 +139,7 @@ class RunResult:
             regions=result.metrics.region_summary(),
             faults=result.faults,
             membership=result.membership,
+            telemetry=result.telemetry,
         )
 
     # -- derived views ---------------------------------------------------------
@@ -163,6 +172,7 @@ class RunResult:
             faults=(None if faults is None
                     else FaultScheduleConfig.from_dict(faults)),
             drain_duration=echo["drain_duration"],
+            trace_sample=echo.get("trace_sample"),
             label=echo["label"],
         )
 
@@ -193,6 +203,9 @@ class RunResult:
         if data["membership"] is None:
             # And for static-membership runs vs the pre-membership schema.
             del data["membership"]
+        if data["telemetry"] is None:
+            # And for untraced runs vs the pre-observability schema.
+            del data["telemetry"]
         return data
 
     @classmethod
@@ -215,7 +228,7 @@ class RunResult:
         if unknown:
             raise ConfigurationError(f"unknown RunResult fields: {unknown}")
         missing = sorted(known - {"schema_version", "regions", "faults",
-                                  "membership"} - set(payload))
+                                  "membership", "telemetry"} - set(payload))
         if missing:
             raise ConfigurationError(f"missing RunResult fields: {missing}")
         faults = payload.get("faults")
@@ -232,6 +245,13 @@ class RunResult:
                     "malformed RunResult membership: expected a membership-"
                     "timeline object")
             payload["membership"] = dict(membership)
+        telemetry = payload.get("telemetry")
+        if telemetry is not None:
+            if not isinstance(telemetry, Mapping):
+                raise ConfigurationError(
+                    "malformed RunResult telemetry: expected a telemetry-"
+                    "report object")
+            payload["telemetry"] = dict(telemetry)
         regions = payload.get("regions")
         if regions is not None and (
                 not isinstance(regions, Mapping)

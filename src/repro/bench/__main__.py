@@ -4,10 +4,12 @@ Usage::
 
     python -m repro.bench [run] [--set smoke|million|million-smoke]
                           [--out BENCH.json] [--label after]
-                          [--jobs N|auto] [--repeat K]
+                          [--jobs N|auto] [--repeat K] [--trace-sample F]
     python -m repro.bench compare BEFORE.json AFTER.json [--out BENCH_PR2.json]
+                          [--max-regression 0.02]
     python -m repro.bench profile SCENARIO [--seed N] [--scale S]
                           [--sort cumulative|tottime|...] [--limit N]
+                          [--out-collapsed stacks.txt]
 """
 
 from __future__ import annotations
@@ -59,10 +61,19 @@ def _build_parser() -> argparse.ArgumentParser:
     cmp_p.add_argument("after", help="new BENCH_*.json artifact")
     cmp_p.add_argument("--out", metavar="PATH",
                        help="write the merged trajectory document here")
+    cmp_p.add_argument("--max-regression", type=float, metavar="FRAC",
+                       help="fail (exit 1) when the whole-set wall time got "
+                            "slower by more than FRAC (0.02 = 2%%); "
+                            "per-scenario slowdowns past the threshold are "
+                            "warnings (short cases are too noisy to gate "
+                            "individually)")
 
     prof_p = sub.add_parser(
         "profile", help="cProfile one scenario run and print the hottest functions")
-    prof_p.add_argument("scenario", help="registered scenario name (e.g. bench/hashchain-heavy)")
+    prof_p.add_argument("scenario",
+                        help="registered scenario name — any entry works, "
+                             "including the million set (e.g. "
+                             "bench/million-smoke-hashchain)")
     prof_p.add_argument("--seed", type=int, default=1, help="run seed (default 1)")
     prof_p.add_argument("--scale", type=float, default=1.0,
                         help="scale factor passed to the runner (default 1.0)")
@@ -73,6 +84,9 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="number of rows to print (default 25)")
     prof_p.add_argument("--out", metavar="PATH",
                         help="also dump raw pstats data here (for snakeviz etc.)")
+    prof_p.add_argument("--out-collapsed", metavar="PATH",
+                        help="also write caller;callee collapsed stacks here "
+                             "(feed to flamegraph.pl / speedscope)")
     return parser
 
 
@@ -90,6 +104,9 @@ def _add_run_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--contains", metavar="TEXT",
                         help="only cases whose scenario name contains TEXT "
                              "(partial artifacts are not comparable trajectories)")
+    parser.add_argument("--trace-sample", type=float, default=None, metavar="F",
+                        help="run with lifecycle tracing at this sample rate "
+                             "(for measuring tracing overhead; default off)")
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -105,7 +122,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
             # whole-set trajectory comparisons would silently shrink to the
             # intersection.
             bench_set = f"{bench_set}/partial"
-    records = run_bench(cases, jobs=args.jobs, repeat=args.repeat)
+    if args.trace_sample is not None:
+        # Traced wall times answer "how much does tracing cost", not "did the
+        # code get faster" — keep them out of whole-set trajectories too.
+        bench_set = f"{bench_set}/traced"
+    records = run_bench(cases, jobs=args.jobs, repeat=args.repeat,
+                        trace_sample=args.trace_sample)
     for record in records:
         print(f"{record.scenario:28s} wall={record.wall_s:8.3f}s  "
               f"events/s={record.events_per_s:10.1f}  "
@@ -116,7 +138,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
-    merged = compare_benches(load_bench(args.before), load_bench(args.after))
+    before, after = load_bench(args.before), load_bench(args.after)
+    merged = compare_benches(before, after)
     for scenario, ratio in merged["speedup"].items():
         print(f"{scenario:28s} speedup {ratio:.2f}x")
     print(f"{'(whole set)':28s} speedup {merged['overall_wall_speedup']:.2f}x")
@@ -126,7 +149,74 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         target.parent.mkdir(parents=True, exist_ok=True)
         target.write_text(json.dumps(merged, indent=2) + "\n")
         print(f"wrote {target}")
+    if args.max_regression is not None:
+        # Gate on unrounded wall times (the stored ``speedup`` ratios are
+        # rounded to 2 decimals — too coarse for a 2% threshold).  Only the
+        # whole-set total fails the gate: individual cases run well under a
+        # second, where scheduler noise dwarfs a 2% threshold, so per-case
+        # slowdowns are surfaced as warnings only.
+        before_by = {r["scenario"]: r["wall_s"] for r in before["results"]}
+        after_by = {r["scenario"]: r["wall_s"] for r in after["results"]}
+        shared = [name for name in before_by if name in after_by]
+        for name in shared:
+            regression = after_by[name] / max(before_by[name], 1e-9) - 1.0
+            if regression > args.max_regression:
+                print(f"warning: {name} slower by {regression:+.1%}",
+                      file=sys.stderr)
+        total_before = sum(before_by[name] for name in shared)
+        total_after = sum(after_by[name] for name in shared)
+        overall = total_after / max(total_before, 1e-9) - 1.0
+        if overall > args.max_regression:
+            print(f"regression: whole set slower by {overall:+.1%} "
+                  f"(> {args.max_regression:.1%} allowed)", file=sys.stderr)
+            return 1
+        print(f"regression gate passed (whole set {overall:+.1%}, "
+              f"limit {args.max_regression:.1%})")
     return 0
+
+
+def _frame_name(func: tuple) -> str:
+    """Render a pstats function key as one flamegraph frame.
+
+    Semicolons separate frames in the collapsed format, so they (and spaces,
+    which separate the frame stack from the sample count) must not appear
+    inside a name.
+    """
+    filename, lineno, funcname = func
+    if filename == "~":  # C builtins profile as ('~', 0, '<built-in ...>')
+        label = funcname
+    else:
+        from pathlib import Path
+        label = f"{Path(filename).name}:{lineno}:{funcname}"
+    return label.replace(";", ",").replace(" ", "_")
+
+
+def _write_collapsed(stats: "pstats.Stats", path: str) -> "Path":
+    """Write flamegraph-collapsed stacks (``caller;callee usec`` lines).
+
+    cProfile keeps caller/callee edges, not full stacks, so the output is
+    two frames deep: each line charges a callee's internal time (µs) to one
+    caller edge; root frames (no recorded caller) appear alone.  That is
+    enough for ``flamegraph.pl`` or speedscope to render a useful profile
+    without any third-party tooling.
+    """
+    from pathlib import Path
+    lines = []
+    for func, (cc, nc, tt, ct, callers) in stats.stats.items():
+        name = _frame_name(func)
+        if not callers:
+            usec = int(round(tt * 1e6))
+            if usec > 0:
+                lines.append(f"{name} {usec}")
+            continue
+        for caller, (c_cc, c_nc, c_tt, c_ct) in callers.items():
+            usec = int(round(c_tt * 1e6))
+            if usec > 0:
+                lines.append(f"{_frame_name(caller)};{name} {usec}")
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text("\n".join(sorted(lines)) + "\n")
+    return target
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
@@ -157,6 +247,9 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         target = Path(args.out)
         target.parent.mkdir(parents=True, exist_ok=True)
         stats.dump_stats(str(target))
+        print(f"wrote {target}")
+    if args.out_collapsed:
+        target = _write_collapsed(stats, args.out_collapsed)
         print(f"wrote {target}")
     return 0
 

@@ -82,7 +82,8 @@ class BenchRecord:
     elements_per_s: float
 
 
-def run_case(case: BenchCase, repeat: int = 1) -> BenchRecord:
+def run_case(case: BenchCase, repeat: int = 1,
+             trace_sample: float | None = None) -> BenchRecord:
     """Run one case ``repeat`` times and keep the fastest execution.
 
     Cyclic garbage collection is suspended for the timed region: a
@@ -90,10 +91,16 @@ def run_case(case: BenchCase, repeat: int = 1) -> BenchRecord:
     collection rescans all of them, turning the measurement superlinear.
     The simulation allocates no reference cycles on its hot paths, so the
     deferred collection happens once, after timing.
+
+    ``trace_sample`` runs the case with lifecycle tracing enabled — the
+    knob behind the tracing-overhead acceptance check (traced wall time over
+    untraced wall time for the same case).
     """
     if repeat < 1:
         raise ConfigurationError("bench repeat must be at least 1")
     config = get_scenario(case.scenario)
+    if trace_sample is not None:
+        config = config.with_overrides(trace_sample=trace_sample)
     best: tuple[float, int, int] | None = None  # (wall, events, committed)
     gc_was_enabled = gc.isenabled()
     for _ in range(repeat):
@@ -123,14 +130,16 @@ def run_case(case: BenchCase, repeat: int = 1) -> BenchRecord:
 
 
 def run_bench(cases: Sequence[BenchCase] = BENCH_SMOKE, jobs: int = 1,
-              repeat: int = 1) -> list[BenchRecord]:
+              repeat: int = 1,
+              trace_sample: float | None = None) -> list[BenchRecord]:
     """Measure every case; ``jobs > 1`` fans out over worker processes.
 
     Parallel timing shares the machine between cases, so use ``jobs 1`` when
     absolute numbers matter and ``--jobs auto`` for quick CI trend lines.
     """
     cases = list(cases)
-    worker = functools.partial(run_case, repeat=repeat)
+    worker = functools.partial(run_case, repeat=repeat,
+                               trace_sample=trace_sample)
     if jobs <= 1 or len(cases) <= 1:
         return [worker(case) for case in cases]
     with multiprocessing.Pool(processes=min(jobs, len(cases))) as pool:

@@ -180,6 +180,11 @@ class ExperimentConfig:
     #: (the default) is a fault-free run — no injector is built and artifacts
     #: stay byte-identical to the pre-faults schema.
     faults: FaultScheduleConfig | None = None
+    #: Lifecycle-tracing sample rate in (0, 1].  ``None`` (the default)
+    #: disables tracing entirely — no :class:`~repro.obs.trace.Tracer` is
+    #: built, hot paths pay a single ``is None`` check, and artifacts stay
+    #: byte-identical to the pre-tracing schema.
+    trace_sample: float | None = None
     #: Total simulated time to run after injection stops (seconds).
     drain_duration: float = 100.0
     #: Label used by reports.
@@ -199,6 +204,10 @@ class ExperimentConfig:
                 f"backends are {tuple(plugins.ledger_backend_names())}")
         if self.drain_duration < 0:
             raise ConfigurationError("drain_duration cannot be negative")
+        if self.trace_sample is not None and not 0.0 < self.trace_sample <= 1.0:
+            raise ConfigurationError(
+                f"trace_sample must be within (0, 1] (or None to disable "
+                f"tracing), got {self.trace_sample!r}")
         if self.faults is not None:
             if not isinstance(self.faults, FaultScheduleConfig):
                 raise ConfigurationError(

@@ -53,6 +53,9 @@ class BaseSetchainServer(NetworkNode, Application):
         self.scheme = scheme
         self.keypair = keypair
         self.metrics = metrics
+        #: Lifecycle tracer shared through the metrics collector; ``None``
+        #: when tracing is off, so hot paths pay one identity check only.
+        self.tracer = getattr(metrics, "tracer", None)
         # Setchain state (paper §2): the_set, history, epoch, proofs.
         self._the_set: dict[int, Element] = {}
         self._history: dict[int, set[Element]] = {}
@@ -236,6 +239,9 @@ class BaseSetchainServer(NetworkNode, Application):
             self.byzantine_counters.get(counter, 0) + 1)
         if self.metrics is not None:
             self.metrics.record_byzantine(self.name, counter)
+        if self.tracer is not None:
+            self.tracer.annotate(self.sim.now, self.name,
+                                 f"byzantine:{counter}")
 
     def _byz_outgoing_proof(self, proof: EpochProof) -> EpochProof | None:
         """Filter an epoch-proof this server is about to publish."""
@@ -279,6 +285,9 @@ class BaseSetchainServer(NetworkNode, Application):
         self._the_set[element.element_id] = element
         if self.metrics is not None:
             self.metrics.record_added(element, self.name, self.sim.now)
+        if self.tracer is not None:
+            self.tracer.phase_one(element.element_id, "collector_queued",
+                                  self.sim.now, self.name)
         byz = self._byz
         if byz is None or not byz.on_after_add(self, element):
             self._after_add(element)
@@ -324,6 +333,10 @@ class BaseSetchainServer(NetworkNode, Application):
         if accepted:
             if self.metrics is not None:
                 self.metrics.record_added_many(accepted, self.name, self.sim.now)
+            if self.tracer is not None:
+                self.tracer.phase_many([e.element_id for e in accepted],
+                                       "collector_queued", self.sim.now,
+                                       self.name)
             self._after_add_many(accepted)
         return len(accepted)
 
@@ -371,6 +384,9 @@ class BaseSetchainServer(NetworkNode, Application):
                                               self.sim.now)
             self.metrics.record_epoch_assigned_many(element_ids, self._epoch,
                                                     self.sim.now)
+        if self.tracer is not None:
+            self.tracer.phase_many(element_ids, "epoch_assigned",
+                                   self.sim.now, self.name)
         proof = create_epoch_proof(self.scheme, self.keypair, self._epoch, elements)
         self._epoch_hashes[self._epoch] = proof.epoch_hash
         if self._future_proofs:

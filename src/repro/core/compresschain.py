@@ -74,6 +74,10 @@ class CompresschainServer(BaseSetchainServer):
             self.metrics.record_tx_elements(tx.tx_id, element_ids)
             self.metrics.record_batch_flush(self.name, len(batch),
                                             compressed.compressed_size, self.sim.now)
+        if self.tracer is not None:
+            self.tracer.phase_many(
+                [item.element_id for item in batch if isinstance(item, Element)],
+                "flushed", self.sim.now, self.name)
 
     # -- block processing (lines 18-29) ------------------------------------------------
 

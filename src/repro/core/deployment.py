@@ -27,6 +27,7 @@ from ..errors import NetworkError
 from ..faults.injector import FaultInjector
 from ..net.latency import LatencyModel, RegionalLatency
 from ..net.network import Network
+from ..obs.trace import Tracer
 from ..sim.scheduler import Simulator
 from ..topology.plugins import (
     DeploymentContext,
@@ -72,6 +73,10 @@ class Deployment:
     membership: MembershipLog | None = None
     #: Servers that left the cluster (kept for reporting, not for checks).
     departed_servers: list[BaseSetchainServer] = field(default_factory=list)
+    #: Lifecycle tracer (also reachable as ``metrics.tracer``); ``None`` when
+    #: ``config.trace_sample`` is unset, so untraced runs pay one identity
+    #: check per hook and nothing else.
+    tracer: Tracer | None = None
     _next_server_index: int = field(default=0, init=False, repr=False)
     _started: bool = field(default=False, init=False, repr=False)
     _stopped: bool = field(default=False, init=False, repr=False)
@@ -238,6 +243,8 @@ class Deployment:
             crash(name)
         else:
             node.crash()
+        if self.tracer is not None:
+            self.tracer.annotate(self.sim.now, name, "fault:crash")
 
     def recover_node(self, name: str) -> None:
         """Recover a crashed server or ledger node by name (idempotent).
@@ -252,6 +259,8 @@ class Deployment:
             recover(name)
         else:
             node.recover()
+        if self.tracer is not None:
+            self.tracer.annotate(self.sim.now, name, "fault:recover")
 
     # -- Byzantine behaviours ---------------------------------------------------
 
@@ -277,10 +286,14 @@ class Deployment:
     def become_byzantine(self, name: str, behaviour: str = "silent") -> None:
         """Attach a Byzantine behaviour strategy to a server, mid-run."""
         self._server_named(name).become_byzantine(behaviour)
+        if self.tracer is not None:
+            self.tracer.annotate(self.sim.now, name, f"byzantine:{behaviour}")
 
     def become_correct(self, name: str) -> None:
         """Shed a server's Byzantine behaviour (idempotent)."""
         self._server_named(name).become_correct()
+        if self.tracer is not None:
+            self.tracer.annotate(self.sim.now, name, "byzantine:reverted")
 
     # -- dynamic membership -----------------------------------------------------
 
@@ -393,6 +406,8 @@ class Deployment:
             self.sim.call_in(_MEMBERSHIP_POLL, _check_caught_up)
 
         self.sim.call_in(_MEMBERSHIP_POLL, _check_caught_up)
+        if self.tracer is not None:
+            self.tracer.annotate(self.sim.now, name, "membership:join")
         return server
 
     def remove_server(self, name: str, drain: bool = True) -> None:
@@ -421,6 +436,8 @@ class Deployment:
                      and node_name in nodes)
         if colocated:
             remove_validator(node_name)
+        if self.tracer is not None:
+            self.tracer.annotate(self.sim.now, name, "membership:leave")
         if not drain:
             self._retire_server(server, drained=False)
             return
@@ -466,6 +483,9 @@ class Deployment:
         node_name = getattr(server._ledger, "name", None)
         if retire_node is not None and nodes is not None and node_name in nodes:
             retire_node(node_name)
+        if self.tracer is not None:
+            self.tracer.annotate(self.sim.now, server.name,
+                                 "membership:retired")
 
     def add_validator(self, name: str | None = None) -> str:
         """Grow the consensus layer by one (app-less) validator."""
@@ -619,6 +639,13 @@ def build_deployment(config: ExperimentConfig, seed: int | None = None) -> Deplo
     pki = PublicKeyInfrastructure()
     scheme = make_scheme(config.setchain.signature_scheme, pki)
     metrics = MetricsCollector()
+    tracer: Tracer | None = None
+    if config.trace_sample is not None:
+        # The tracer draws from its own derived stream, never ``sim.rng``,
+        # so enabling it cannot perturb the simulation's event schedule.
+        tracer = Tracer(sample=config.trace_sample,
+                        seed=seed if seed is not None else config.workload.seed)
+        metrics.tracer = tracer
 
     n = config.setchain.n_servers
     ledger_backend, ledger_handles = get_ledger_backend(config.ledger_backend)(
@@ -661,7 +688,7 @@ def build_deployment(config: ExperimentConfig, seed: int | None = None) -> Deplo
                             servers=servers, clients=clients, metrics=metrics,
                             ledger_backend=ledger_backend, injected_elements=injected,
                             region_of=region_of, context=context,
-                            membership=membership)
+                            membership=membership, tracer=tracer)
     deployment._next_server_index = n
     if config.faults is not None and config.faults.events:
         # Construction only derives an RNG stream (no draws) and allocates

@@ -119,6 +119,9 @@ class HashchainServer(BaseSetchainServer):
         self.batch_requests_failed = 0
         self.batch_request_retries = 0
         self.hash_batches_appended = 0
+        #: Repeat absorptions answered from the scanned-batch cache (each one
+        #: saved a full item re-scan); surfaced by the telemetry report.
+        self.scan_cache_hits = 0
         self.on("request_batch", self._on_request_batch)
         self.on("batch_response", self._on_batch_response)
 
@@ -160,6 +163,12 @@ class HashchainServer(BaseSetchainServer):
             self.metrics.record_batch_hash_elements(digest, element_ids)
             self.metrics.record_batch_flush(self.name, len(items), HASH_BATCH_SIZE,
                                             self.sim.now)
+        if self.tracer is not None:
+            element_ids = [item.element_id for item in items
+                           if isinstance(item, Element)]
+            now = self.sim.now
+            self.tracer.phase_many(element_ids, "flushed", now, self.name)
+            self.tracer.phase_many(element_ids, "signed", now, self.name)
 
     # -- hash-reversal service (Register_batch / Request_batch) --------------------------
 
@@ -387,6 +396,7 @@ class HashchainServer(BaseSetchainServer):
         """
         cached = self._scanned_batches.get(digest)
         if cached is not None:
+            self.scan_cache_hits += 1
             if cached:
                 accepted = self._proofs
                 pending = [p for p in cached if p not in accepted]

@@ -57,6 +57,11 @@ class SignatureScheme(ABC):
         # Insertion-ordered on purpose: eviction is FIFO, and dict order is
         # deterministic where set order would depend on PYTHONHASHSEED.
         self._verified: dict[tuple[str, str, bytes], None] = {}
+        # Verify-cache telemetry: plain int bumps, cheap enough to stay on
+        # unconditionally (read post-run by the observability report).
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.cache_evictions = 0
 
     @abstractmethod
     def generate_keypair(self, owner: str, deployment_seed: int = 0) -> KeyPair:
@@ -77,7 +82,9 @@ class SignatureScheme(ABC):
         """True iff ``signature`` over ``message`` verifies for ``owner``'s registered key."""
         key = (owner, message, signature)
         if key in self._verified:
+            self.cache_hits += 1
             return True
+        self.cache_misses += 1
         if not self._verify(owner, message, signature):
             return False
         self._remember((key,))
@@ -95,6 +102,8 @@ class SignatureScheme(ABC):
         for index, triple in enumerate(triples):
             if triple not in cache:
                 misses.append(index)
+        self.cache_hits += len(triples) - len(misses)
+        self.cache_misses += len(misses)
         if misses:
             verdicts = self._verify_many([triples[i] for i in misses])
             fresh: list[tuple[str, str, bytes]] = []
@@ -111,7 +120,9 @@ class SignatureScheme(ABC):
         """Memoise fresh positives, retiring the oldest half when full."""
         cache = self._verified
         if len(cache) >= _VERIFY_CACHE_MAX:
-            for stale in list(islice(cache, len(cache) // 2)):
+            stale_keys = list(islice(cache, len(cache) // 2))
+            self.cache_evictions += len(stale_keys)
+            for stale in stale_keys:
                 del cache[stale]
         for key in keys:
             cache[key] = None

@@ -61,6 +61,8 @@ class ExperimentResult:
     faults: dict | None = None
     #: Membership timeline (epochs, joins, leaves); ``None`` for static runs.
     membership: dict | None = None
+    #: Tracing telemetry report; ``None`` when tracing is disabled.
+    telemetry: dict | None = None
 
     @property
     def label(self) -> str:
@@ -133,6 +135,8 @@ def package_result(deployment: Deployment, scale: float = 1.0) -> ExperimentResu
         faults=(deployment.fault_injector.report()
                 if deployment.fault_injector is not None else None),
         membership=deployment.membership_report(),
+        telemetry=(deployment.tracer.telemetry_report(deployment)
+                   if deployment.tracer is not None else None),
     )
 
 

@@ -1,0 +1,142 @@
+"""``python -m repro.obs`` — validate observability artifacts.
+
+The tiny validator CLI behind ``make trace-smoke``:
+
+* ``validate-trace PATH [--format auto|chrome|jsonl]`` — parse a trace file
+  written by ``repro trace`` and check its structural schema;
+* ``prom-smoke [--scenario service/smoke]`` — start an in-process service
+  runtime with its HTTP endpoint, stream a little traffic, then validate the
+  Prometheus exposition at ``/metrics?format=prometheus``, the JSON default
+  at ``/metrics``, and the ``/healthz`` response headers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import urllib.error
+import urllib.request
+from typing import Sequence
+
+from ..errors import ConfigurationError, ReproError
+from .export import validate_trace_file
+from .prom import parse_exposition
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Validate trace files and Prometheus exposition output.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    trace_p = sub.add_parser("validate-trace",
+                             help="validate a trace file's schema")
+    trace_p.add_argument("path", help="trace file written by `repro trace`")
+    trace_p.add_argument("--format", choices=("auto", "chrome", "jsonl"),
+                         default="auto", help="trace format (default: sniff)")
+    trace_p.add_argument("--min-tracks", type=int, default=1,
+                         help="fail below this many named tracks (default 1)")
+
+    prom_p = sub.add_parser(
+        "prom-smoke",
+        help="end-to-end check of the service Prometheus endpoint")
+    prom_p.add_argument("--scenario", default="service/smoke",
+                        help="service scenario to run (default service/smoke)")
+    prom_p.add_argument("--seed", type=int, default=7)
+    prom_p.add_argument("--elements", type=int, default=200,
+                        help="elements to stream before scraping (default 200)")
+    prom_p.add_argument("--ticks", type=int, default=20,
+                        help="service ticks to advance (default 20)")
+    return parser
+
+
+def _cmd_validate_trace(args: argparse.Namespace) -> int:
+    stats = validate_trace_file(args.path, fmt=args.format)
+    tracks = stats.get("tracks", [])
+    if len(tracks) < args.min_tracks:
+        print(f"error: {args.path}: {len(tracks)} named tracks, "
+              f"expected at least {args.min_tracks}", file=sys.stderr)
+        return 1
+    print(f"{args.path}: valid {stats['format']} trace — "
+          f"{stats['events']} events on {len(tracks)} tracks "
+          f"({', '.join(tracks)})")
+    return 0
+
+
+def _fetch(url: str) -> tuple[int, dict, bytes]:
+    request = urllib.request.Request(url)
+    try:
+        with urllib.request.urlopen(request, timeout=10) as response:
+            return response.status, dict(response.headers), response.read()
+    except urllib.error.HTTPError as error:  # 4xx/5xx still carry a body
+        return error.code, dict(error.headers), error.read()
+
+
+def _cmd_prom_smoke(args: argparse.Namespace) -> int:
+    from ..service.http import MetricsEndpoint
+    from ..service.runtime import ServiceRuntime
+
+    failures: list[str] = []
+    with ServiceRuntime(args.scenario, seed=args.seed) as runtime:
+        runtime.submit_many(args.elements)
+        for _ in range(args.ticks):
+            runtime.tick()
+        with MetricsEndpoint(runtime) as endpoint:
+            # 1. Prometheus exposition parses and carries the core families.
+            status, headers, body = _fetch(
+                endpoint.url + "/metrics?format=prometheus")
+            if status != 200:
+                failures.append(f"/metrics?format=prometheus returned {status}")
+            if not headers.get("Content-Type", "").startswith("text/plain"):
+                failures.append("prometheus reply is not text/plain")
+            try:
+                metrics = parse_exposition(body.decode())
+            except ConfigurationError as error:
+                failures.append(f"exposition invalid: {error}")
+                metrics = {}
+            for family in ("repro_injected_total", "repro_committed_total",
+                           "repro_ingress_total", "repro_server_backlog"):
+                if family not in metrics:
+                    failures.append(f"exposition missing {family}")
+            # 2. The JSON default is unchanged.
+            status, headers, body = _fetch(endpoint.url + "/metrics")
+            if status != 200 or not headers.get("Content-Type", "").startswith(
+                    "application/json"):
+                failures.append("/metrics JSON default broken")
+            else:
+                snapshot = json.loads(body)
+                if snapshot.get("injected", 0) <= 0:
+                    failures.append("JSON snapshot shows no injected elements")
+            # 3. healthz carries the caching headers (and Retry-After on 503).
+            status, headers, body = _fetch(endpoint.url + "/healthz")
+            if headers.get("Cache-Control") != "no-store":
+                failures.append("/healthz missing Cache-Control: no-store")
+            if status == 503 and "Retry-After" not in headers:
+                failures.append("/healthz 503 without Retry-After")
+            if status == 200 and json.loads(body).get("status") != "ok":
+                failures.append("/healthz 200 but status != ok")
+    if failures:
+        for failure in failures:
+            print(f"error: {failure}", file=sys.stderr)
+        return 1
+    print(f"prom-smoke ok: {args.scenario} exposition valid "
+          f"({len(metrics)} metric families)")
+    return 0
+
+
+_COMMANDS = {"validate-trace": _cmd_validate_trace,
+             "prom-smoke": _cmd_prom_smoke}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except (ReproError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,229 @@
+"""Lightweight telemetry primitives: counters, gauges, log-scale histograms.
+
+A :class:`Registry` is a small, dependency-free metric store in the spirit of
+a Prometheus client library, built for the simulator's constraints:
+
+* **deterministic** — snapshots are plain dicts with sorted keys, integer
+  counts, and floats rounded to six decimals, so they can be embedded in
+  byte-stable :class:`~repro.api.results.RunResult` artifacts;
+* **cheap** — counters are a single attribute increment; histograms use a
+  fixed log-scale bucket ladder (powers of two), so ``observe`` is a
+  ``bisect`` plus two adds and never allocates;
+* **renderable** — :meth:`Registry.render_prometheus` emits the Prometheus
+  text exposition format (``# HELP`` / ``# TYPE`` plus samples) that the
+  service endpoint serves under ``/metrics?format=prometheus``.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Any, Iterable, Mapping
+
+from ..errors import ConfigurationError
+
+#: Default histogram ladder: powers of two from 1e-4 (0.1 ms of simulated
+#: time) up to ~1677 s.  Fixed — not data-dependent — so two runs of the same
+#: scenario always bucket identically.
+DEFAULT_BUCKETS: tuple[float, ...] = tuple(1e-4 * 2 ** i for i in range(25))
+
+#: Ladder for size-like observations (batch flush items/bytes): powers of two
+#: from 1 up to ~16M.
+SIZE_BUCKETS: tuple[float, ...] = tuple(float(2 ** i) for i in range(25))
+
+
+def _round6(value: float) -> float:
+    return round(float(value), 6)
+
+
+class Counter:
+    """A monotonically increasing integer metric."""
+
+    __slots__ = ("name", "help", "value")
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def snapshot(self) -> int:
+        return self.value
+
+
+class Gauge:
+    """A point-in-time numeric metric (set, not accumulated)."""
+
+    __slots__ = ("name", "help", "value")
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def snapshot(self) -> float:
+        return _round6(self.value)
+
+
+class Histogram:
+    """A fixed-bucket histogram over a log-scale ladder.
+
+    Buckets are *upper bounds*; an observation lands in the first bucket whose
+    bound is >= the value, with an implicit ``+Inf`` overflow bucket at the
+    end.  Counts are stored per-bucket (non-cumulative); the Prometheus
+    renderer accumulates them into the required cumulative ``le`` series.
+    """
+
+    __slots__ = ("name", "help", "bounds", "counts", "sum", "count")
+    kind = "histogram"
+
+    def __init__(self, name: str, help: str = "",
+                 bounds: tuple[float, ...] = DEFAULT_BUCKETS) -> None:
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ConfigurationError(
+                f"histogram {name!r} bounds must be a sorted non-empty ladder")
+        self.name = name
+        self.help = help
+        self.bounds = tuple(float(b) for b in bounds)
+        self.counts = [0] * (len(self.bounds) + 1)  # +1: the +Inf bucket
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    def observe_many(self, values: Iterable[float]) -> None:
+        counts = self.counts
+        bounds = self.bounds
+        total = 0.0
+        n = 0
+        for value in values:
+            counts[bisect_left(bounds, value)] += 1
+            total += value
+            n += 1
+        self.sum += total
+        self.count += n
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile: the upper bound of the covering bucket."""
+        if not 0.0 <= q <= 1.0:
+            raise ConfigurationError("quantile must be within [0, 1]")
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        seen = 0
+        for index, bucket_count in enumerate(self.counts):
+            seen += bucket_count
+            if seen >= target and bucket_count:
+                return self.bounds[index] if index < len(self.bounds) \
+                    else self.bounds[-1]
+        return self.bounds[-1]
+
+    def snapshot(self) -> dict[str, Any]:
+        """Compact form: only non-empty buckets, keyed by their upper bound."""
+        buckets = {repr(_round6(self.bounds[i])) if i < len(self.bounds)
+                   else "+Inf": c
+                   for i, c in enumerate(self.counts) if c}
+        return {"buckets": buckets, "sum": _round6(self.sum),
+                "count": self.count}
+
+
+class Registry:
+    """A named collection of metrics with get-or-create accessors."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get(self, name: str, factory, **kwargs):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = self._metrics[name] = factory(name, **kwargs)
+        elif not isinstance(metric, factory):
+            raise ConfigurationError(
+                f"metric {name!r} already registered as {metric.kind}, "
+                f"not {factory.kind}")
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get(name, Counter, help=help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get(name, Gauge, help=help)
+
+    def histogram(self, name: str, help: str = "",
+                  bounds: tuple[float, ...] = DEFAULT_BUCKETS) -> Histogram:
+        return self._get(name, Histogram, help=help, bounds=bounds)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def snapshot(self) -> dict[str, Any]:
+        """All metrics as a sorted, JSON-stable dict."""
+        return {name: self._metrics[name].snapshot()
+                for name in sorted(self._metrics)}
+
+    def render_prometheus(self, prefix: str = "repro_") -> str:
+        """The registry in Prometheus text exposition format."""
+        lines: list[str] = []
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            full = prefix + name
+            if metric.help:
+                lines.append(f"# HELP {full} {metric.help}")
+            lines.append(f"# TYPE {full} {metric.kind}")
+            if isinstance(metric, Histogram):
+                cumulative = 0
+                for index, bound in enumerate(metric.bounds):
+                    cumulative += metric.counts[index]
+                    lines.append(
+                        f'{full}_bucket{{le="{_round6(bound)!r}"}} {cumulative}')
+                cumulative += metric.counts[-1]
+                lines.append(f'{full}_bucket{{le="+Inf"}} {cumulative}')
+                lines.append(f"{full}_sum {_round6(metric.sum)!r}")
+                lines.append(f"{full}_count {metric.count}")
+            else:
+                lines.append(f"{full} {format_value(metric.value)}")
+        return "\n".join(lines) + "\n" if lines else ""
+
+
+def format_value(value: Any) -> str:
+    """One Prometheus sample value: ints bare, floats rounded, bools as 0/1."""
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return repr(_round6(float(value)))
+
+
+def flush_size_summary(flushes: Iterable[Any]) -> dict[str, Any] | None:
+    """Batch-flush size statistics (items per flush) from
+    :class:`~repro.analysis.metrics.BatchFlushEvent` records, or ``None``
+    when no flushes happened (e.g. the vanilla algorithm)."""
+    sizes = [int(f.n_items) for f in flushes]
+    if not sizes:
+        return None
+    histogram = Histogram("flush_items", bounds=SIZE_BUCKETS)
+    histogram.observe_many(float(s) for s in sizes)
+    snap = histogram.snapshot()
+    snap["max"] = max(sizes)
+    snap["sum"] = sum(sizes)
+    return snap
+
+
+def phase_percentiles(sorted_values: "list[float]") -> dict[str, Any]:
+    """count/p50/p95/p99/max for a pre-sorted latency list (rounded)."""
+    n = len(sorted_values)
+
+    def pick(q: float) -> float:
+        return _round6(sorted_values[min(n - 1, int(q * n))])
+
+    return {"count": n, "p50": pick(0.50), "p95": pick(0.95),
+            "p99": pick(0.99), "max": _round6(sorted_values[-1])}

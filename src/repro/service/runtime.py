@@ -428,6 +428,17 @@ class ServiceRuntime:
                 }
             return snapshot
 
+    def observability_snapshot(self) -> tuple[dict[str, Any], dict[str, Any]]:
+        """Metrics snapshot plus health summary under ONE lock acquisition.
+
+        The Prometheus handler renders its text from the returned dicts
+        outside the lock, so a scrape costs one bounded critical section no
+        matter how slow the scraper's socket is (the lock is re-entrant, so
+        the two nested snapshot calls do not re-acquire).
+        """
+        with self._lock:
+            return self.metrics_snapshot(), self.healthz()
+
     def result(self) -> RunResult:
         """Package the standard batch analyses for the run so far."""
         return self.session.result()

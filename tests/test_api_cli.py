@@ -99,3 +99,73 @@ def test_module_entry_point_exits_zero(args):
     completed = subprocess.run([sys.executable, "-m", "repro", *args],
                                capture_output=True, text=True, timeout=300)
     assert completed.returncode == 0, completed.stderr
+
+
+# -- tracing (repro trace / sweep --trace-dir / report --phases) ---------------
+
+
+def test_trace_writes_validated_chrome_trace(tmp_path, capsys):
+    from repro.obs.export import validate_trace_file
+
+    out = tmp_path / "smoke.trace.json"
+    assert main(["trace", SMOKE, "--out", str(out)]) == 0
+    stdout = capsys.readouterr().out
+    assert "trace" in stdout and str(out) in stdout
+    stats = validate_trace_file(out)
+    assert stats["format"] == "chrome"
+    assert stats["events"] > 0
+    # One named track per server plus collector and ledger.
+    assert "collector" in stats["tracks"] and "ledger" in stats["tracks"]
+    assert any(track.startswith("server-") for track in stats["tracks"])
+
+
+def test_trace_jsonl_format_and_artifact(tmp_path, capsys):
+    from repro.obs.export import validate_trace_file
+
+    out = tmp_path / "smoke.trace.jsonl"
+    artifact = tmp_path / "smoke.json"
+    assert main(["trace", SMOKE, "--out", str(out), "--format", "jsonl",
+                 "--json", str(artifact)]) == 0
+    capsys.readouterr()
+    assert validate_trace_file(out)["format"] == "jsonl"
+    result = RunResult.load(artifact)
+    assert result.telemetry is not None
+    assert result.telemetry["sample"] == 1.0
+
+
+def test_sweep_trace_dir_requires_trace_sample(tmp_path, capsys):
+    assert main(["sweep", "--contains", "smoke",
+                 "--trace-dir", str(tmp_path)]) == 1
+    assert "--trace-sample" in capsys.readouterr().err
+
+
+def test_sweep_with_tracing_writes_trace_files(tmp_path, capsys):
+    from repro.obs.export import validate_trace_file
+
+    out = tmp_path / "artifacts"
+    traces = tmp_path / "traces"
+    assert main(["sweep", "--tag", "demo", "--contains", "smoke",
+                 "--out", str(out),
+                 "--trace-sample", "1.0", "--trace-dir", str(traces),
+                 "--quiet"]) == 0
+    trace_files = sorted(traces.glob("*.trace.json"))
+    assert len(trace_files) == 1
+    assert validate_trace_file(trace_files[0])["format"] == "chrome"
+    result = RunResult.load(out / "smoke.json")
+    assert result.telemetry is not None
+
+
+def test_report_phases_renders_latency_table(tmp_path, capsys):
+    traced = tmp_path / "traced.json"
+    plain = tmp_path / "plain.json"
+    assert main(["trace", SMOKE, "--out", str(tmp_path / "t.trace.json"),
+                 "--json", str(traced)]) == 0
+    assert main(["run", SMOKE, "--json", str(plain), "--quiet"]) == 0
+    capsys.readouterr()
+    assert main(["report", str(traced), "--phases"]) == 0
+    out = capsys.readouterr().out
+    assert "phase latency since injection" in out
+    assert "committed" in out and "p99" in out
+    # Untraced artifacts have no phase data to report.
+    assert main(["report", str(plain), "--phases"]) == 0
+    assert "no traced artifacts" in capsys.readouterr().out

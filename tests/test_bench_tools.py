@@ -1,0 +1,85 @@
+"""Bench tooling: the regression gate, collapsed stacks, traced bench runs."""
+
+from __future__ import annotations
+
+import cProfile
+import json
+import pstats
+
+import pytest
+
+from repro.bench.__main__ import _write_collapsed, main
+from repro.bench.runner import BenchCase, run_case
+
+
+def _artifact(path, walls: dict[str, float], label: str) -> str:
+    payload = {"schema_version": 1, "set": "bench-smoke", "label": label,
+               "results": [{"scenario": name, "seed": 1, "wall_s": wall,
+                            "events_per_s": 1.0, "elements_per_s": 1.0}
+                           for name, wall in walls.items()]}
+    path.write_text(json.dumps(payload))
+    return str(path)
+
+
+def test_compare_max_regression_passes_within_threshold(tmp_path, capsys):
+    before = _artifact(tmp_path / "before.json", {"a": 1.0, "b": 2.0}, "before")
+    after = _artifact(tmp_path / "after.json", {"a": 1.01, "b": 1.98}, "after")
+    assert main(["compare", before, after, "--max-regression", "0.02"]) == 0
+    assert "regression gate passed" in capsys.readouterr().out
+
+
+def test_compare_max_regression_fails_on_whole_set_slowdown(tmp_path, capsys):
+    before = _artifact(tmp_path / "before.json", {"a": 1.0, "b": 2.0}, "before")
+    after = _artifact(tmp_path / "after.json", {"a": 1.20, "b": 2.0}, "after")
+    assert main(["compare", before, after, "--max-regression", "0.02"]) == 1
+    err = capsys.readouterr().err
+    assert "warning: a slower by" in err
+    assert "regression: whole set slower by" in err
+    # Without the gate the same comparison is informational only.
+    assert main(["compare", before, after]) == 0
+
+
+def test_compare_max_regression_warns_but_passes_on_one_noisy_case(
+        tmp_path, capsys):
+    # One short case 5% slower, but the set total still within 2%: warn only.
+    before = _artifact(tmp_path / "before.json", {"a": 0.2, "b": 2.0}, "before")
+    after = _artifact(tmp_path / "after.json", {"a": 0.21, "b": 1.99}, "after")
+    assert main(["compare", before, after, "--max-regression", "0.02"]) == 0
+    captured = capsys.readouterr()
+    assert "warning: a slower by" in captured.err
+    assert "regression gate passed" in captured.out
+
+
+def test_write_collapsed_emits_flamegraph_lines(tmp_path):
+    def leaf():
+        return sum(range(2000))
+
+    def root():
+        return [leaf() for _ in range(50)]
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    root()
+    profiler.disable()
+    target = _write_collapsed(pstats.Stats(profiler),
+                              str(tmp_path / "stacks.txt"))
+    lines = target.read_text().splitlines()
+    assert lines == sorted(lines)
+    for line in lines:
+        stack, _, value = line.rpartition(" ")
+        assert int(value) > 0
+        assert 1 <= len(stack.split(";")) <= 2
+        assert " " not in stack
+    assert any("leaf" in line for line in lines)
+
+
+def test_run_case_simulation_outputs_do_not_depend_on_tracing():
+    untraced = run_case(BenchCase("smoke", seed=9))
+    traced = run_case(BenchCase("smoke", seed=9), trace_sample=1.0)
+    # events/s * wall_s recovers the deterministic event count (up to the
+    # artifact's 4-decimal rounding): tracing may change the wall time but
+    # never the simulation trajectory.
+    assert untraced.events_per_s * untraced.wall_s == pytest.approx(
+        traced.events_per_s * traced.wall_s, rel=5e-3)
+    assert untraced.elements_per_s * untraced.wall_s == pytest.approx(
+        traced.elements_per_s * traced.wall_s, rel=5e-3)

@@ -27,7 +27,7 @@ def test_examples_directory_contents():
     assert {"quickstart.py", "digital_registry.py", "voting.py",
             "byzantine_tolerance.py", "throughput_comparison.py",
             "chaos_partition.py", "chaos_byzantine.py",
-            "service_overload.py"} <= names
+            "service_overload.py", "trace_lifecycle.py"} <= names
 
 
 def test_quickstart_example():
@@ -75,3 +75,11 @@ def test_chaos_byzantine_example():
     assert "withheld requests" in out
     assert "correct-server check : OK" in out
     assert "epoch convergence    : OK" in out
+
+
+def test_trace_lifecycle_example():
+    out = run_example("trace_lifecycle.py")
+    assert "phase latencies since injection" in out
+    assert "committed" in out and "p99" in out
+    assert "verify cache" in out
+    assert "trace file" in out and "tracks" in out
