@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-pytest bench-smoke million million-smoke profile chaos-smoke byz-smoke membership-smoke service-smoke trace-smoke trace-smoke-core trace-bench-gate list-scenarios clean
+.PHONY: test bench bench-pytest bench-smoke million million-smoke profile chaos-smoke byz-smoke membership-smoke shard-smoke service-smoke trace-smoke trace-smoke-core trace-bench-gate list-scenarios clean
 
 # Scenario to profile with `make profile` (override: make profile SCENARIO=...).
 SCENARIO ?= bench/hashchain-heavy
@@ -68,6 +68,31 @@ membership-smoke:
 	@echo "member/ family byte-identical under --jobs 1 vs --jobs 4"
 	$(PYTHON) -m repro report results/member-j1/member__service__elastic.json \
 	  results/member-j1/member__smoke.json
+
+# Sharded scale-out drill: the 2- and 4-shard scale scenarios run and render
+# their per-shard tables, the whole shard/ family is byte-identical under
+# serial vs parallel sweeps, and Properties 1-8 hold on the merged logical
+# view of a sharded run.
+shard-smoke:
+	mkdir -p results
+	$(PYTHON) -m repro run shard/scale/s2 --json results/shard-s2.json --quiet
+	$(PYTHON) -m repro run shard/scale/s4 --json results/shard-s4.json --quiet
+	$(PYTHON) -m repro report results/shard-s2.json results/shard-s4.json
+	$(PYTHON) -m repro sweep --family shard --jobs 1 --quiet --seed 7 --out results/shard-j1
+	$(PYTHON) -m repro sweep --family shard --jobs 4 --quiet --seed 7 --out results/shard-j4
+	@for artifact in results/shard-j1/*.json; do \
+	  cmp "$$artifact" "results/shard-j4/$$(basename $$artifact)" || exit 1; \
+	done
+	@echo "shard/ family byte-identical under --jobs 1 vs --jobs 4"
+	$(PYTHON) -c "from repro import Scenario; \
+	  session = (Scenario.hashchain().servers(2).shards(2).rate(300) \
+	    .collector(20).inject_for(5).drain(30).backend('ideal').seed(11) \
+	    .session().start()); \
+	  session.run_to_completion(); \
+	  violations = session.check_logical_properties(); \
+	  assert violations == [], violations; \
+	  print('merged logical view: Properties 1-8 hold over', \
+	        len(session.logical_view().the_set), 'elements')"
 
 # Service mode end to end: start a service on a durable sqlite ledger,
 # stream 1k elements through the ingress queue while probing /metrics every

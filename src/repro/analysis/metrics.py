@@ -94,6 +94,17 @@ class MetricsCollector:
         self.region_committed: dict[str, int] = {}
         #: region -> earliest commit observation time in that region.
         self.region_first_commit: dict[str, float] = {}
+        #: Server name -> shard index; empty for unsharded deployments.  The
+        #: per-shard tallies mirror the region machinery: an element's shard
+        #: is wherever it was first added/committed, which — thanks to the
+        #: finalize_block origin filter — is always its owning shard.
+        self.shard_of: dict[str, int] = {}
+        #: shard -> elements first added at a server of that shard.
+        self.shard_added: dict[int, int] = {}
+        #: shard -> elements whose commit was first observed in that shard.
+        self.shard_committed: dict[int, int] = {}
+        #: shard -> commit observation times (drives per-shard throughput).
+        self.shard_commit_times: dict[int, list[float]] = {}
         #: Byzantine-attribution counters (withheld requests, bogus hashes,
         #: invalid elements appended/refused, ...), aggregated over the run.
         self.byzantine_counters: dict[str, int] = {}
@@ -144,6 +155,23 @@ class MetricsCollector:
             for region in sorted(servers)
         }
 
+    # -- shards ----------------------------------------------------------------
+
+    def set_shard_map(self, shard_of: Mapping[str, int]) -> None:
+        """Enable per-shard breakdowns (server name -> shard index)."""
+        self.shard_of = dict(shard_of)
+        for shard in self.shard_of.values():
+            self.shard_added.setdefault(shard, 0)
+            self.shard_committed.setdefault(shard, 0)
+            self.shard_commit_times.setdefault(shard, [])
+
+    def assign_shard(self, server: str, shard: int) -> None:
+        """Enroll one server (a runtime joiner) into a shard."""
+        self.shard_of[server] = shard
+        self.shard_added.setdefault(shard, 0)
+        self.shard_committed.setdefault(shard, 0)
+        self.shard_commit_times.setdefault(shard, [])
+
     # -- element lifecycle ------------------------------------------------------
 
     def _record(self, element_id: int) -> ElementRecord:
@@ -192,6 +220,9 @@ class MetricsCollector:
             region = self.region_of.get(server)
             if region is not None:
                 self.region_added[region] = self.region_added.get(region, 0) + 1
+            shard = self.shard_of.get(server)
+            if shard is not None:
+                self.shard_added[shard] = self.shard_added.get(shard, 0) + 1
 
     def record_added_many(self, elements: Iterable[Element], server: str,
                           time: float) -> None:
@@ -199,6 +230,7 @@ class MetricsCollector:
         records = self.elements
         make = ElementRecord
         region = self.region_of.get(server)
+        shard = self.shard_of.get(server)
         fresh = 0
         for element in elements:
             element_id = element.element_id
@@ -211,6 +243,8 @@ class MetricsCollector:
                 fresh += 1
         if region is not None and fresh:
             self.region_added[region] = self.region_added.get(region, 0) + fresh
+        if shard is not None and fresh:
+            self.shard_added[shard] = self.shard_added.get(shard, 0) + fresh
 
     def record_tx_elements(self, tx_id: int, element_ids: Iterable[int]) -> None:
         self.tx_elements[tx_id] = list(element_ids)
@@ -285,6 +319,7 @@ class MetricsCollector:
             self.tracer.phase_many([e.element_id for e in elements],
                                    "committed", time, observer)
         region = self.region_of.get(observer)
+        shard = self.shard_of.get(observer)
         records = self.elements
         make = ElementRecord
         for element in elements:
@@ -300,6 +335,10 @@ class MetricsCollector:
                         self.region_committed.get(region, 0) + 1)
                     if region not in self.region_first_commit:
                         self.region_first_commit[region] = time
+                if shard is not None:
+                    self.shard_committed[shard] = (
+                        self.shard_committed.get(shard, 0) + 1)
+                    self.shard_commit_times.setdefault(shard, []).append(time)
 
     def record_batch_flush(self, server: str, n_items: int, appended_bytes: int,
                            time: float) -> None:

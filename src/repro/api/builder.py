@@ -54,7 +54,8 @@ _LAYER_FIELDS: dict[str, tuple[str, ...]] = {
     "workload": tuple(f.name for f in fields(WorkloadConfig)),
 }
 
-_TOP_FIELDS = ("ledger_backend", "drain_duration", "label", "trace_sample")
+_TOP_FIELDS = ("ledger_backend", "drain_duration", "label", "trace_sample",
+               "shards")
 
 
 _did_you_mean = did_you_mean
@@ -145,6 +146,8 @@ class ScenarioBuilder:
                         "label": config.label}
         if config.trace_sample is not None:
             builder._top["trace_sample"] = config.trace_sample
+        if config.shards is not None:
+            builder._top["shards"] = config.shards
         if config.topology is not None:
             topology = config.topology
             builder._topology = {
@@ -529,6 +532,26 @@ class ScenarioBuilder:
             raise ConfigurationError(
                 f"trace sample must be within (0, 1], got {sample!r}")
         return self._fork_top(trace_sample=sample)
+
+    # -- sharding ----------------------------------------------------------------
+
+    def shards(self, n: int) -> "ScenarioBuilder":
+        """Hash-partition element ids across ``n`` independent Setchain
+        instances (see :mod:`repro.shard`).
+
+        ``servers(k)`` stays *per shard*: ``.servers(3).shards(4)`` deploys
+        12 servers in four isolated groups over one shared ledger, with a
+        deterministic router spreading client adds by element id.  The run's
+        :class:`RunResult` gains a ``shards`` section (per-shard commit
+        tallies, router admission counters, skew), and
+        :meth:`Session.logical_view` merges the shard views into one logical
+        set for property checking.  Incompatible with :meth:`region` /
+        :meth:`mixed` topologies.
+        """
+        n = int(n)
+        if n < 1:
+            raise ConfigurationError("shards must be at least 1")
+        return self._fork_top(shards=n)
 
     # -- escape hatches: validated per-layer overrides ---------------------------
 

@@ -22,6 +22,10 @@ Importing this module — done lazily by the registry on its first access, see
   transfer + catch-up), draining leaves, replacements, and elastic
   grow/shrink timelines, alone and mixed with crash/partition/Byzantine
   nemeses;
+* ``shard/...`` — hash-partitioned scale-out (:mod:`repro.shard`): 1/2/4/8
+  isolated Setchain instances behind the deterministic shard router, at
+  rates past what one instance sustains, plus elastic add-shard-under-load
+  and drain-whole-shard timelines;
 * ``bench/...`` — the pinned ``bench-smoke`` set measured by :mod:`repro.bench`;
 * ``quickstart`` / ``smoke`` — small scenarios that finish in seconds.
 
@@ -841,6 +845,57 @@ def _register_member() -> None:
 
 
 _register_member()
+
+
+# -- shard: hash-partitioned scale-out (repro.shard) ---------------------------
+# N isolated Setchain instances (one algorithm group per shard) over one
+# shared ledger, with the deterministic router spreading element ids across
+# them.  The scale/ scenarios raise the per-element validation cost so a
+# single instance saturates around ~1300 el/s committed, then offer
+# 3500 el/s: one shard collapses under the backlog, two commit a few times
+# more, four sustain the full offered rate, and eight are offered-bound —
+# the trajectory pinned in BENCH_SHARD_PR10.json.
+
+
+def _register_shard() -> None:
+    for count in (1, 2, 4, 8):
+        register_scenario(
+            f"shard/scale/s{count}",
+            tags=("shard", "scale", "hashchain", "bench-shard"),
+            description=(f"{count}-shard hashchain (3 servers each, f=1) at "
+                         "3500 el/s, past one instance's ~1300 el/s ceiling"),
+        )(lambda k=count: Scenario.hashchain().servers(3).byzantine(f=1)
+          .shards(k).rate(3_500).collector(50)
+          .setchain(element_validation_time=2e-3).block_rate(2.0)
+          .inject_for(8).drain(10).backend("ideal"))
+    register_scenario(
+        "shard/elastic/add-shard-under-load",
+        tags=("shard", "elastic", "membership", "faults", "hashchain", "ci"),
+        description="2 shards of 3 under load; three joins (t=1.5/2/2.5 s) "
+                    "open a third shard, which starts taking traffic once "
+                    "a quorum of its joiners has caught up",
+    )(lambda: Scenario.hashchain().servers(3).byzantine(f=1).shards(2)
+      .rate(600).collector(20).inject_for(6).drain(40).backend("ideal")
+      .join(1.5).join(2.0).join(2.5))
+    register_scenario(
+        "shard/elastic/retire-shard",
+        tags=("shard", "elastic", "membership", "faults", "hashchain", "ci"),
+        description="3 shards of 3; shard 0 drains out whole at t=3 s "
+                    "(simultaneous leaves) — ingress re-hashes over the "
+                    "surviving shards while in-flight elements finish",
+    )(lambda: Scenario.hashchain().servers(3).byzantine(f=1).shards(3)
+      .rate(600).collector(20).inject_for(6).drain(40).backend("ideal")
+      .leave(3.0, "server-0", "server-1", "server-2"))
+    register_scenario(
+        "shard/smoke",
+        tags=("shard", "ci"),
+        description="small 2-shard hashchain (2 servers each) over the "
+                    "ideal ledger; ~seconds",
+    )(lambda: Scenario.hashchain().servers(2).shards(2).rate(300)
+      .collector(20).inject_for(5).drain(30).backend("ideal"))
+
+
+_register_shard()
 
 
 # -- small, fast scenarios ----------------------------------------------------

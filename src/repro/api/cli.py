@@ -65,6 +65,8 @@ def _build_parser() -> argparse.ArgumentParser:
                              help="run every scenario matching a filter")
     sweep_p.add_argument("--tag", help="scenarios carrying this tag")
     sweep_p.add_argument("--contains", help="names containing this substring")
+    sweep_p.add_argument("--family", help="only scenarios in this family "
+                                          "(the name's first path segment)")
     _add_run_options(sweep_p)
     sweep_p.add_argument("--out", metavar="DIR", default="results",
                          help="directory for RunResult JSON artifacts "
@@ -202,6 +204,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
     entries = iter_scenarios(tag=args.tag, contains=args.contains)
+    if args.family:
+        entries = [e for e in entries if _family_of(e.name) == args.family]
+        if not entries:
+            from .registry import iter_scenarios as _all
+            families = sorted({_family_of(e.name) for e in _all()})
+            print(f"no scenarios in family {args.family!r}; families: "
+                  f"{', '.join(families)}", file=sys.stderr)
+            return 1
     if not entries:
         print("no scenarios match the sweep filter", file=sys.stderr)
         return 1
@@ -304,6 +314,36 @@ def _cmd_report(args: argparse.Namespace) -> int:
              "invalid appended", "invalid refused", "equivocations",
              "suppressed"],
             byz_rows, title="byzantine attribution (adversarial runs)"))
+    sharded = [r for r in results if r.shards]
+    if sharded:
+        shard_rows = []
+        for result in sharded:
+            block = result.shards
+            assert block is not None
+            router = block.get("router", {})
+            per_shard = block.get("per_shard", {})
+            for shard, stats in sorted(per_shard.items(),
+                                       key=lambda kv: int(kv[0])):
+                shard_rows.append([
+                    result.label, shard, len(stats.get("servers", [])),
+                    stats.get("routed", 0), stats.get("added", 0),
+                    stats.get("committed", 0),
+                    f"{stats.get('avg_throughput_50s', 0.0):.1f}",
+                ])
+            skew = block.get("skew_ratio")
+            shard_rows.append([
+                result.label, "all", sum(len(s.get("servers", []))
+                                         for s in per_shard.values()),
+                router.get("routed", 0),
+                f"defer={router.get('deferred', 0)}",
+                f"reject={router.get('rejected', 0)}",
+                "-" if skew is None else f"skew={skew:.2f}",
+            ])
+        print()
+        print(render_table(
+            ["scenario", "shard", "servers", "routed", "added", "committed",
+             "el/s (50s)"],
+            shard_rows, title="per-shard breakdown (sharded runs)"))
     elastic = [r for r in results if r.membership]
     if elastic:
         member_rows = []

@@ -69,6 +69,9 @@ def config_echo(config: ExperimentConfig) -> dict[str, Any]:
     if config.trace_sample is None:
         # Tracing-off artifacts stay byte-identical to the pre-obs schema.
         del echo["trace_sample"]
+    if config.shards is None:
+        # Unsharded artifacts stay byte-identical to the pre-sharding schema.
+        del echo["shards"]
     return echo
 
 
@@ -113,6 +116,11 @@ class RunResult:
     #: JSON artifact — when tracing is disabled, keeping untraced artifacts
     #: byte-identical.
     telemetry: dict[str, Any] | None = None
+    #: Cross-shard report (per-shard added/committed/throughput, router
+    #: defer/reject admissions, skew ratio); ``None`` — and absent from the
+    #: JSON artifact — for unsharded runs, keeping their artifacts
+    #: byte-identical.
+    shards: dict[str, Any] | None = None
     schema_version: int = SCHEMA_VERSION
 
     # -- construction ----------------------------------------------------------
@@ -140,6 +148,7 @@ class RunResult:
             faults=result.faults,
             membership=result.membership,
             telemetry=result.telemetry,
+            shards=result.shards,
         )
 
     # -- derived views ---------------------------------------------------------
@@ -173,6 +182,7 @@ class RunResult:
                     else FaultScheduleConfig.from_dict(faults)),
             drain_duration=echo["drain_duration"],
             trace_sample=echo.get("trace_sample"),
+            shards=echo.get("shards"),
             label=echo["label"],
         )
 
@@ -206,6 +216,9 @@ class RunResult:
         if data["telemetry"] is None:
             # And for untraced runs vs the pre-observability schema.
             del data["telemetry"]
+        if data["shards"] is None:
+            # And for unsharded runs vs the pre-sharding schema.
+            del data["shards"]
         return data
 
     @classmethod
@@ -228,7 +241,8 @@ class RunResult:
         if unknown:
             raise ConfigurationError(f"unknown RunResult fields: {unknown}")
         missing = sorted(known - {"schema_version", "regions", "faults",
-                                  "membership", "telemetry"} - set(payload))
+                                  "membership", "telemetry", "shards"}
+                         - set(payload))
         if missing:
             raise ConfigurationError(f"missing RunResult fields: {missing}")
         faults = payload.get("faults")
@@ -252,6 +266,13 @@ class RunResult:
                     "malformed RunResult telemetry: expected a telemetry-"
                     "report object")
             payload["telemetry"] = dict(telemetry)
+        shards = payload.get("shards")
+        if shards is not None:
+            if not isinstance(shards, Mapping):
+                raise ConfigurationError(
+                    "malformed RunResult shards: expected a cross-shard "
+                    "report object")
+            payload["shards"] = dict(shards)
         regions = payload.get("regions")
         if regions is not None and (
                 not isinstance(regions, Mapping)

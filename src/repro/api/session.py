@@ -296,6 +296,76 @@ class Session:
         """Run the Setchain Property 1-8 checkers over the current views."""
         return self.deployment.check_properties(include_liveness=include_liveness)
 
+    # -- sharding: the merged logical set ----------------------------------------
+
+    def logical_view(self) -> "SetchainView":
+        """One view of the whole deployment as a single logical set.
+
+        For sharded deployments this merges one representative correct,
+        caught-up server view per shard: the logical set is the union of the
+        per-shard sets (disjoint by construction — the router partitions the
+        element-id space), and the per-shard epochs are renumbered into one
+        logical epoch sequence ordered by ``(epoch_number, shard_index)``,
+        with each epoch's proofs remapped to the logical numbering.  For
+        unsharded deployments it is a representative server's ``get()``.
+        """
+        from types import MappingProxyType
+
+        from ..core.types import EpochProof, SetchainView
+
+        deployment = self.deployment
+        router = deployment.shard_router
+        shard_lists = (router.shard_servers if router is not None
+                       else [deployment.servers])
+        faulty = deployment.byzantine_servers()
+
+        def representative(servers):  # type: ignore[no-untyped-def]
+            for server in servers:
+                if (server.name not in faulty and not server.crashed
+                        and not server.departed and not server.bootstrapping):
+                    return server
+            raise SetchainError(
+                "no correct caught-up server to represent shard "
+                f"{{{', '.join(s.name for s in servers)}}}")
+
+        shard_views = [representative(servers).get() for servers in shard_lists]
+        merged_set: set = set()
+        epochs: list[tuple[int, int, frozenset, frozenset]] = []
+        for shard_index, view in enumerate(shard_views):
+            merged_set.update(view.the_set)
+            for number in sorted(view.history):
+                epochs.append((number, shard_index, view.history[number],
+                               view.proofs_for(number)))
+        epochs.sort(key=lambda entry: (entry[0], entry[1]))
+        history: dict[int, frozenset] = {}
+        proofs: set[EpochProof] = set()
+        for logical_number, (_, _, elements, epoch_proofs) in enumerate(epochs, 1):
+            history[logical_number] = elements
+            for proof in epoch_proofs:
+                proofs.add(EpochProof(epoch_number=logical_number,
+                                      epoch_hash=proof.epoch_hash,
+                                      signature=proof.signature,
+                                      signer=proof.signer))
+        return SetchainView(the_set=frozenset(merged_set),
+                            history=MappingProxyType(history),
+                            epoch=len(history),
+                            proofs=frozenset(proofs))
+
+    def check_logical_properties(self, include_liveness: bool = True):
+        """Run the Property 1-8 checkers over the merged logical view.
+
+        The single merged view exercises the per-view properties (consistent
+        sets, unique epochs, add-before-get over *all* injected elements,
+        eventual-get, quorum-signed epochs); the cross-shard agreement
+        properties are covered per shard by :meth:`check_properties`.
+        """
+        from ..core.properties import check_all
+        view = self.logical_view()
+        return check_all({"logical": view},
+                         quorum=self.config.setchain.quorum,
+                         all_added=self.deployment.injected_elements,
+                         include_liveness=include_liveness)
+
     # -- results ---------------------------------------------------------------
 
     def result(self) -> RunResult:

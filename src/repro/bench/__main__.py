@@ -24,6 +24,7 @@ from ..errors import ReproError
 from .runner import (
     BENCH_MILLION,
     BENCH_MILLION_SMOKE,
+    BENCH_SHARD,
     BENCH_SMOKE,
     compare_benches,
     load_bench,
@@ -36,6 +37,7 @@ BENCH_SETS = {
     "smoke": (BENCH_SMOKE, "bench-smoke"),
     "million": (BENCH_MILLION, "bench-million"),
     "million-smoke": (BENCH_MILLION_SMOKE, "million-smoke"),
+    "shard": (BENCH_SHARD, "bench-shard"),
 }
 
 
@@ -129,9 +131,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
     records = run_bench(cases, jobs=args.jobs, repeat=args.repeat,
                         trace_sample=args.trace_sample)
     for record in records:
-        print(f"{record.scenario:28s} wall={record.wall_s:8.3f}s  "
-              f"events/s={record.events_per_s:10.1f}  "
-              f"el/s={record.elements_per_s:8.1f}")
+        line = (f"{record.scenario:28s} wall={record.wall_s:8.3f}s  "
+                f"events/s={record.events_per_s:10.1f}  "
+                f"el/s={record.elements_per_s:8.1f}")
+        if record.sim_elements_per_s is not None:
+            line += f"  sim-el/s={record.sim_elements_per_s:8.1f}"
+        print(line)
     path = write_bench(records, args.out, label=args.label, bench_set=bench_set)
     print(f"wrote {path}")
     return 0

@@ -185,6 +185,13 @@ class ExperimentConfig:
     #: built, hot paths pay a single ``is None`` check, and artifacts stay
     #: byte-identical to the pre-tracing schema.
     trace_sample: float | None = None
+    #: Number of independent Setchain instances (shards) the element space is
+    #: hash-partitioned across.  ``setchain.n_servers`` stays *per shard*, so
+    #: a sharded deployment runs ``shards * n_servers`` servers with the
+    #: per-shard ``f + 1`` commit quorum.  ``None`` (the default) is the
+    #: unsharded single-instance layout — no router is built and artifacts
+    #: stay byte-identical to the pre-sharding schema.
+    shards: int | None = None
     #: Total simulated time to run after injection stops (seconds).
     drain_duration: float = 100.0
     #: Label used by reports.
@@ -221,6 +228,13 @@ class ExperimentConfig:
                     "drain): timers past the horizon would never fire, "
                     "leaving nodes crashed or cuts unhealed — extend "
                     "drain_duration or move the events earlier")
+        if self.shards is not None:
+            if self.shards < 1:
+                raise ConfigurationError("shards must be at least 1")
+            if self.topology is not None:
+                raise ConfigurationError(
+                    "shards cannot be combined with a multi-region topology: "
+                    "shard placement owns the server layout")
         topology = self.topology
         if topology is not None:
             if topology.n_servers != self.setchain.n_servers:
@@ -258,10 +272,17 @@ class ExperimentConfig:
         return (self.topology is not None
                 and self.topology.is_heterogeneous(self.algorithm))
 
+    @property
+    def total_servers(self) -> int:
+        """Deployment-wide server count (``shards * n_servers`` when sharded)."""
+        if self.shards is None:
+            return self.setchain.n_servers
+        return self.shards * self.setchain.n_servers
+
     def server_assignments(self) -> list[tuple[str | None, str]]:
         """Per-server ``(region-or-None, algorithm)`` in deployment order."""
         if self.topology is None:
-            return [(None, self.algorithm)] * self.setchain.n_servers
+            return [(None, self.algorithm)] * self.total_servers
         return list(self.topology.assignments(self.algorithm))
 
     def with_overrides(self, **kwargs: object) -> "ExperimentConfig":

@@ -117,6 +117,14 @@ class BaseSetchainServer(NetworkNode, Application):
         # Dynamic membership (None in static deployments — every check below
         # is a flag test, so membership-free runs stay byte-identical).
         self._membership = None  # type: ignore[assignment]
+        # Shard tenancy (both None in unsharded deployments: the group suffix
+        # and the finalize_block origin filter are single flag tests, so
+        # unsharded runs stay byte-identical).  ``shard_peers`` is the name
+        # set of this server's own shard (itself included) — same-algorithm
+        # tenants over one shared ledger produce indistinguishable payloads,
+        # so isolation needs the *origin* of a transaction, not its type.
+        self.shard_index: int | None = None
+        self.shard_peers: frozenset[str] | None = None
         #: Height of the last block this server finalized; keys the current
         #: quorum when membership changes mid-run.
         self._last_seen_height = 0
@@ -256,8 +264,14 @@ class BaseSetchainServer(NetworkNode, Application):
         expected to agree on epochs (Properties 3 and 6 are checked within a
         group).  By default every algorithm is its own group — even the light
         variants, whose out-of-band stores do not serve the full variants'
-        batches.
+        batches.  In a sharded deployment each shard is its own tenant, so
+        the shard index joins the key (``hashchain#shard2``) and all the
+        group-scoped machinery — property checks, peer selection, state
+        transfer — becomes shard-scoped for free.
         """
+        if self.shard_index is not None:
+            from ..shard.router import shard_group
+            return shard_group(self.algorithm, self.shard_index)
         return self.algorithm
 
     # -- Setchain API (paper §2) -------------------------------------------------
@@ -540,8 +554,19 @@ class BaseSetchainServer(NetworkNode, Application):
                 # instead of firing while the pipeline may still lag.
                 self._work.append(("quorum", block, None))
         self.blocks_processed += 1
-        for tx in block.transactions:
-            self._work.append(("tx", block, tx))
+        peers = self.shard_peers
+        if peers is None:
+            for tx in block.transactions:
+                self._work.append(("tx", block, tx))
+        else:
+            # Shard isolation: tenants sharing the ledger run the *same*
+            # algorithm, so payload types cannot discriminate — only
+            # transactions originated by this server's own shard are ours.
+            # Crash recovery replays blocks through this same path, so the
+            # filter survives replay unchanged.
+            for tx in block.transactions:
+                if tx.origin in peers:
+                    self._work.append(("tx", block, tx))
         self._work.append(("end", block, None))
         if not self._busy:
             self._busy = True

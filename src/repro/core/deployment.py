@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..analysis.metrics import MetricsCollector
+from ..analysis.throughput import average_throughput
 from ..config import ExperimentConfig
 from ..crypto.keys import PublicKeyInfrastructure
 from ..crypto.signatures import SignatureScheme, make_scheme
@@ -28,6 +29,7 @@ from ..faults.injector import FaultInjector
 from ..net.latency import LatencyModel, RegionalLatency
 from ..net.network import Network
 from ..obs.trace import Tracer
+from ..shard.router import ShardRouter
 from ..sim.scheduler import Simulator
 from ..topology.plugins import (
     DeploymentContext,
@@ -77,6 +79,10 @@ class Deployment:
     #: ``config.trace_sample`` is unset, so untraced runs pay one identity
     #: check per hook and nothing else.
     tracer: Tracer | None = None
+    #: Element-space partitioner for sharded deployments; ``None`` (the
+    #: default) is the single-instance layout — workload clients and the
+    #: service ingress bypass routing entirely.
+    shard_router: ShardRouter | None = None
     _next_server_index: int = field(default=0, init=False, repr=False)
     _started: bool = field(default=False, init=False, repr=False)
     _stopped: bool = field(default=False, init=False, repr=False)
@@ -189,12 +195,14 @@ class Deployment:
         The quorum is always computed over the *full* server set
         (``config.setchain.quorum``).  For heterogeneous deployments the
         cross-server properties (Get-Global, Consistent-Gets) are checked
-        within each algorithm group — see :meth:`algorithm_groups`.  Servers
+        within each algorithm group — see :meth:`algorithm_groups`; sharded
+        deployments reuse exactly that scoping, one group per shard.  Servers
         that are (or ever were) Byzantine are excluded: Properties 1-8 are
         claimed for correct servers only.
         """
         groups = (self.algorithm_groups()
-                  if self.config.is_heterogeneous else None)
+                  if (self.config.is_heterogeneous
+                      or self.shard_router is not None) else None)
         faulty = self.byzantine_servers()
         still_bootstrapping = {server.name for server in self.servers
                                if server.bootstrapping}
@@ -352,6 +360,14 @@ class Deployment:
         keypair = self.scheme.generate_keypair(
             name, deployment_seed=self.config.workload.seed)
         server = get_algorithm(algorithm)(self.context, name, keypair)
+        if self.shard_router is not None:
+            # Shard placement before any group-scoped step below (donor
+            # selection, store handoff) — the joiner's group key carries its
+            # shard index.  Filling an under-sized shard first and opening a
+            # fresh shard otherwise gives both elastic stories: replace a
+            # lost member, or add a whole shard under load (router traffic
+            # starts once the new shard reaches a routable quorum).
+            self._enroll_in_shard(server)
         self.network.register(server)
         # Ledger hookup: a fresh co-located validator (CometBFT) or a fresh
         # sequencer handle (ideal/sqlite).
@@ -443,6 +459,23 @@ class Deployment:
             return
         server.begin_drain()
 
+        def _shard_pipeline_dry() -> bool:
+            # Whole-shard retirement: when no continuing (non-draining)
+            # member would remain to process the shard's ledger traffic, the
+            # last leavers must also wait for every element admitted to the
+            # shard to commit — the origin filter means no other shard can
+            # finish that work for them.  Unsharded drains are unchanged.
+            if self.shard_router is None:
+                return True
+            shard = server.shard_index
+            continuing = any(s is not server and s.shard_index == shard
+                             and not s.departed and not s.draining
+                             for s in self.servers)
+            if continuing:
+                return True
+            added = self.metrics.shard_added.get(shard, 0)
+            return self.metrics.shard_committed.get(shard, 0) >= added
+
         def _check_drained() -> None:
             if server.departed:
                 return  # crashed-and-removed or retired through another path
@@ -450,7 +483,7 @@ class Deployment:
             collector = getattr(server, "collector", None)
             collector_empty = collector is None or not collector.pending_view()
             if (server.backlog == 0 and not server._busy and pending is None
-                    and collector_empty):
+                    and collector_empty and _shard_pipeline_dry()):
                 self._retire_server(server, drained=True)
                 return
             self.sim.call_in(_MEMBERSHIP_POLL, _check_drained)
@@ -578,6 +611,62 @@ class Deployment:
                 for height, members in validators.epochs()]
         return report
 
+    # -- sharding -----------------------------------------------------------------
+
+    def _enroll_in_shard(self, server: BaseSetchainServer) -> None:
+        """Assign a runtime joiner to a shard and refresh the peer sets."""
+        router = self.shard_router
+        assert router is not None
+        shard = router.placement_for_join(self.config.setchain.n_servers)
+        server.shard_index = shard
+        router.add_server(shard, server)
+        members = frozenset(s.name for s in router.shard_servers[shard]
+                            if not s.departed)
+        for member in router.shard_servers[shard]:
+            member.shard_peers = members
+        self.metrics.assign_shard(server.name, shard)
+        if self.tracer is not None:
+            self.tracer.annotate(self.sim.now, server.name, f"shard:{shard}")
+
+    def shard_report(self) -> dict | None:
+        """The ``RunResult.shards`` block; ``None`` for unsharded runs.
+
+        Per shard: its server roster, router admissions, added/committed
+        element counts (observed by that shard's servers), first-commit time,
+        and committed throughput over the paper's 50 s window.  The router's
+        defer/reject counters and the admission skew ratio (max/mean per-shard
+        load; 1.0 is perfectly even) summarise the partition quality.
+        """
+        router = self.shard_router
+        if router is None:
+            return None
+        metrics = self.metrics
+        per_shard: dict[str, dict] = {}
+        for index, members in enumerate(router.shard_servers):
+            added = metrics.shard_added.get(index, 0)
+            committed = metrics.shard_committed.get(index, 0)
+            times = metrics.shard_commit_times.get(index, [])
+            entry: dict = {
+                "servers": [s.name for s in members],
+                "routed": router.per_shard_routed[index],
+                "added": added,
+                "committed": committed,
+                "committed_fraction": (round(committed / added, 6)
+                                       if added else 0.0),
+                "avg_throughput_50s": round(
+                    average_throughput(sorted(times), up_to=50.0), 1),
+            }
+            if times:
+                entry["first_commit"] = round(min(times), 6)
+            per_shard[str(index)] = entry
+        return {
+            "count": router.n_shards,
+            "quorum": router.quorum,
+            "router": router.counters(),
+            "skew_ratio": router.skew_ratio(),
+            "per_shard": per_shard,
+        }
+
 
 def build_latency(config: ExperimentConfig) -> LatencyModel:
     """Stage 1: the latency model, from the profile/topology registries.
@@ -647,7 +736,7 @@ def build_deployment(config: ExperimentConfig, seed: int | None = None) -> Deplo
                         seed=seed if seed is not None else config.workload.seed)
         metrics.tracer = tracer
 
-    n = config.setchain.n_servers
+    n = config.total_servers
     ledger_backend, ledger_handles = get_ledger_backend(config.ledger_backend)(
         sim, network, n, config)
 
@@ -669,6 +758,25 @@ def build_deployment(config: ExperimentConfig, seed: int | None = None) -> Deplo
     if region_of:
         metrics.set_region_map(region_of)
 
+    shard_router: ShardRouter | None = None
+    if config.shards is not None:
+        # Block placement: servers [k*n_servers, (k+1)*n_servers) form shard
+        # k, each a multi-tenant group over the shared ledger with the
+        # per-shard f+1 commit quorum.
+        per_shard = config.setchain.n_servers
+        shard_lists = [servers[k * per_shard:(k + 1) * per_shard]
+                       for k in range(config.shards)]
+        for shard_index, members in enumerate(shard_lists):
+            names = frozenset(server.name for server in members)
+            for server in members:
+                server.shard_index = shard_index
+                server.shard_peers = names
+                if tracer is not None:
+                    tracer.annotate(0.0, server.name, f"shard:{shard_index}")
+        shard_router = ShardRouter(shard_lists,
+                                   quorum=config.setchain.quorum)
+        metrics.set_shard_map(shard_router.shard_map())
+
     injected: list[Element] = []
 
     def on_element(element: Element) -> None:
@@ -680,15 +788,22 @@ def build_deployment(config: ExperimentConfig, seed: int | None = None) -> Deplo
         metrics.record_injected_many(elements, sim.now)
 
     clients = ClientPool(sim, targets=list(servers), workload=config.workload,
-                         on_element=on_element, on_elements=on_elements)
+                         on_element=on_element, on_elements=on_elements,
+                         router=shard_router)
 
+    # Sharded runs pin the membership f to the per-shard tolerance: joins and
+    # leaves must never dilute a shard's f+1 commit quorum with the (much
+    # larger) deployment-wide server count.
     membership = MembershipLog([server.name for server in servers],
-                               explicit_f=config.setchain.f)
+                               explicit_f=(config.setchain.max_faulty
+                                           if config.shards is not None
+                                           else config.setchain.f))
     deployment = Deployment(config=config, sim=sim, network=network, scheme=scheme,
                             servers=servers, clients=clients, metrics=metrics,
                             ledger_backend=ledger_backend, injected_elements=injected,
                             region_of=region_of, context=context,
-                            membership=membership, tracer=tracer)
+                            membership=membership, tracer=tracer,
+                            shard_router=shard_router)
     deployment._next_server_index = n
     if config.faults is not None and config.faults.events:
         # Construction only derives an RNG stream (no draws) and allocates

@@ -63,6 +63,9 @@ class ExperimentResult:
     membership: dict | None = None
     #: Tracing telemetry report; ``None`` when tracing is disabled.
     telemetry: dict | None = None
+    #: Cross-shard report (per-shard commit/throughput, router admissions,
+    #: skew); ``None`` for unsharded runs.
+    shards: dict | None = None
 
     @property
     def label(self) -> str:
@@ -105,7 +108,12 @@ def analytical_reference(config: ExperimentConfig) -> float:
         collector_size=max(collector, config.setchain.n_servers + 1),
         compression_ratio=ratio,
     )
-    return throughput_for(config.algorithm, params)
+    bound = throughput_for(config.algorithm, params)
+    if config.shards is not None:
+        # Shards are independent instances over the partitioned element
+        # space, so the analytical ceiling scales linearly with their count.
+        bound *= config.shards
+    return bound
 
 
 def package_result(deployment: Deployment, scale: float = 1.0) -> ExperimentResult:
@@ -137,6 +145,7 @@ def package_result(deployment: Deployment, scale: float = 1.0) -> ExperimentResu
         membership=deployment.membership_report(),
         telemetry=(deployment.tracer.telemetry_report(deployment)
                    if deployment.tracer is not None else None),
+        shards=deployment.shard_report(),
     )
 
 

@@ -219,8 +219,15 @@ def flush_size_summary(flushes: Iterable[Any]) -> dict[str, Any] | None:
 
 
 def phase_percentiles(sorted_values: "list[float]") -> dict[str, Any]:
-    """count/p50/p95/p99/max for a pre-sorted latency list (rounded)."""
+    """count/p50/p95/p99/max for a pre-sorted latency list (rounded).
+
+    An empty list (a zero-commit run, or a phase no element reached) yields a
+    zeroed row rather than indexing past the end — report tables render it as
+    an all-zero line instead of crashing.
+    """
     n = len(sorted_values)
+    if n == 0:
+        return {"count": 0, "p50": 0.0, "p95": 0.0, "p99": 0.0, "max": 0.0}
 
     def pick(q: float) -> float:
         return _round6(sorted_values[min(n - 1, int(q * n))])

@@ -221,7 +221,28 @@ class ServiceRuntime:
         deployment = self.deployment
         budget = self.drain_per_tick if self.drain_per_tick is not None else len(self._queue)
         servers = deployment.servers
+        router = deployment.shard_router
         while self._queue and budget > 0:
+            if router is not None:
+                # Sharded ingress: the element's id fixes its shard, the
+                # router round-robins within it.  No active shard (none with
+                # a routable quorum) keeps the queue for later, like the
+                # all-servers-down case below.
+                if not router.active_shards():
+                    return
+                client, size = self._queue.popleft()
+                budget -= 1
+                element = make_element(client=client, size_bytes=size,
+                                       created_at=deployment.sim.now)
+                routed = router.route_round_robin(element.element_id)
+                target = routed[0] if routed is not None else None
+                if target is not None and target.add(element):
+                    deployment.injected_elements.append(element)
+                    deployment.metrics.record_injected(element, deployment.sim.now)
+                    self.drained += 1
+                else:
+                    self.server_rejected += 1
+                continue
             target = None
             for _ in range(len(servers)):
                 candidate = servers[self._rr % len(servers)]
@@ -331,27 +352,52 @@ class ServiceRuntime:
         bootstrapping joiner or a draining leaver is not one), against that
         epoch's quorum — not the build-time f+1.  The payload always carries
         the epoch number (1 until the first membership change).
+
+        A server counts as live only while it can still serve commits: a
+        draining leaver refuses new adds, a departed-but-not-yet-retired
+        server is already out of the write path, and a bootstrapping joiner
+        has no state yet — none of them contribute to the quorum this probe
+        answers for.  Sharded deployments additionally report per-shard
+        liveness and degrade when *any* shard falls below its quorum.
         """
         with self._lock:
             deployment = self.deployment
             membership = deployment.membership
+
+            def serving(server: Any) -> bool:
+                return not (server.crashed or server.draining
+                            or server.departed or server.bootstrapping)
+
             if membership is not None and membership.changed:
                 current = membership.current
                 members = set(current.members)
                 live = sum(1 for s in deployment.servers
-                           if s.name in members and not s.crashed)
+                           if s.name in members and serving(s))
                 quorum = current.quorum
                 epoch = current.index
             else:
-                live = sum(1 for s in deployment.servers if not s.crashed)
+                live = sum(1 for s in deployment.servers if serving(s))
                 quorum = self.config.setchain.quorum
                 epoch = 1
-            return {"status": "ok" if live >= quorum and not self._stopped
-                    else "degraded",
-                    "live_servers": live, "quorum": quorum,
-                    "epoch": epoch,
-                    "stopped": self._stopped,
-                    "uptime_s": self.session.now}
+            healthy = live >= quorum
+            payload: dict[str, Any] = {
+                "live_servers": live, "quorum": quorum,
+                "epoch": epoch,
+                "stopped": self._stopped,
+                "uptime_s": self.session.now}
+            router = deployment.shard_router
+            if router is not None:
+                shards: dict[str, Any] = {}
+                for index, servers in enumerate(router.shard_servers):
+                    shard_live = sum(1 for s in servers if serving(s))
+                    shards[str(index)] = {"live": shard_live,
+                                          "quorum": router.quorum}
+                    if shard_live < router.quorum:
+                        healthy = False
+                payload["shards"] = shards
+            payload["status"] = ("ok" if healthy and not self._stopped
+                                 else "degraded")
+            return payload
 
     def metrics_snapshot(self) -> dict[str, Any]:
         """One JSON-safe scrape of the running deployment.

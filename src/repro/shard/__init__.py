@@ -1,0 +1,13 @@
+"""Sharded multi-Setchain scale-out: one logical set over N instances.
+
+A sharded deployment runs ``shards`` independent Setchain instances — each a
+multi-tenant :func:`~repro.core.deployment.Deployment.algorithm_groups`
+tenant over the shared ledger — and hash-partitions the element space across
+them at the client/workload layer.  :class:`~repro.shard.router.ShardRouter`
+owns the partition function and the backpressure accounting; the per-shard
+commit/skew metrics surface as ``RunResult.shards``.
+"""
+
+from .router import SHARD_GROUP_SEPARATOR, ShardRouter, shard_group, shard_slot
+
+__all__ = ["SHARD_GROUP_SEPARATOR", "ShardRouter", "shard_group", "shard_slot"]

@@ -1,0 +1,193 @@
+"""The deterministic shard router: element-id hash partitioning + failover.
+
+Partition function
+------------------
+:func:`shard_slot` is a Fibonacci multiplicative hash (64-bit golden-ratio
+multiplier, xor-folded) over the element id.  Element ids are sequential
+integers, so a plain modulo would stripe them perfectly evenly and hide the
+skew machinery; the multiplicative mix gives a pseudo-uniform assignment with
+*measurable* per-shard imbalance, which ``RunResult.shards["skew_ratio"]``
+reports.
+
+Elasticity
+----------
+The router hashes over the currently *active* shards — those with at least a
+commit quorum of routable members (not crashed, draining, departed, or
+bootstrapping).  A shard added under load starts taking traffic the moment a
+quorum of its joiners has caught up; a shard being drained (or lost to
+crashes) stops receiving new elements immediately while its in-flight
+elements finish committing on the remaining drain-capable members.  An
+element's shard is therefore fixed at *admission*, never re-balanced — which
+is what keeps the per-shard sets disjoint and the merged logical view a true
+partition.
+
+Backpressure vocabulary (PR 6): an element routed to its preferred server is
+*accepted*; re-pointed at another live server in the same shard it is
+*deferred*; with no active shard at all it is *rejected* (dropped, counted).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+#: 64-bit golden-ratio multiplier (Fibonacci hashing).
+_MIX = 0x9E3779B97F4A7C15
+_MASK = 0xFFFFFFFFFFFFFFFF
+
+#: Separator between an algorithm name and its shard suffix in the
+#: multi-tenant group key (``hashchain#shard0``).  ``#`` cannot appear in an
+#: algorithm name (the registry validates identifiers), so the suffix can be
+#: split off unambiguously.
+SHARD_GROUP_SEPARATOR = "#shard"
+
+
+def shard_slot(element_id: int, n_slots: int) -> int:
+    """Deterministic slot in ``range(n_slots)`` for an element id."""
+    if n_slots <= 1:
+        return 0
+    mixed = (element_id * _MIX) & _MASK
+    mixed ^= mixed >> 29
+    return mixed % n_slots
+
+
+def shard_group(algorithm: str, shard_index: int | None) -> str:
+    """The multi-tenant group key for one shard of an algorithm."""
+    if shard_index is None:
+        return algorithm
+    return f"{algorithm}{SHARD_GROUP_SEPARATOR}{shard_index}"
+
+
+def _routable(server: Any) -> bool:
+    """Can this server accept a brand-new element right now?"""
+    return not (server.crashed or server.draining or server.departed
+                or server.bootstrapping)
+
+
+class ShardRouter:
+    """Routes elements to shards; owns the admission-control counters.
+
+    The router holds the authoritative shard membership (``shard_servers[k]``
+    is the server list of shard ``k``; retired servers stay listed but stop
+    being routable) and is shared by the batch workload clients and the
+    service ingress drain.
+    """
+
+    def __init__(self, shard_servers: Sequence[Sequence[Any]],
+                 quorum: int) -> None:
+        self.shard_servers: list[list[Any]] = [list(s) for s in shard_servers]
+        self.quorum = quorum
+        #: Admission counters (PR 6 vocabulary — see the module docstring).
+        self.routed = 0
+        self.deferred = 0
+        self.rejected = 0
+        self.per_shard_routed: list[int] = [0] * len(self.shard_servers)
+        self._rr: list[int] = [0] * len(self.shard_servers)
+
+    # -- membership ---------------------------------------------------------------
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shard_servers)
+
+    def shard_of(self, server_name: str) -> int | None:
+        """The shard a server belongs to, or ``None`` for unknown names."""
+        for index, servers in enumerate(self.shard_servers):
+            if any(s.name == server_name for s in servers):
+                return index
+        return None
+
+    def shard_map(self) -> dict[str, int]:
+        """``server name -> shard index`` over every server ever enrolled."""
+        return {server.name: index
+                for index, servers in enumerate(self.shard_servers)
+                for server in servers}
+
+    def add_server(self, shard_index: int, server: Any) -> None:
+        """Enroll a joiner; ``shard_index == n_shards`` opens a new shard."""
+        while shard_index >= len(self.shard_servers):
+            self.shard_servers.append([])
+            self.per_shard_routed.append(0)
+            self._rr.append(0)
+        self.shard_servers[shard_index].append(server)
+
+    def placement_for_join(self, per_shard_size: int) -> int:
+        """Shard for the next joiner: fill the smallest under-sized shard
+        first (deterministic: lowest index wins ties), else open a new one."""
+        sizes = [sum(1 for s in servers if not s.departed)
+                 for servers in self.shard_servers]
+        candidates = [(size, index) for index, size in enumerate(sizes)
+                      if size < per_shard_size]
+        if candidates:
+            return min(candidates)[1]
+        return len(self.shard_servers)
+
+    # -- routing ------------------------------------------------------------------
+
+    def active_shards(self) -> list[int]:
+        """Shards currently taking new elements: quorum-many routable members."""
+        return [index for index, servers in enumerate(self.shard_servers)
+                if sum(1 for s in servers if _routable(s)) >= self.quorum]
+
+    def shard_for(self, element_id: int,
+                  active: Sequence[int] | None = None) -> int | None:
+        """The owning shard for a new element, or ``None`` if none is active."""
+        if active is None:
+            active = self.active_shards()
+        if not active:
+            return None
+        return active[shard_slot(element_id, len(active))]
+
+    def route(self, element_id: int, preference: int = 0) -> tuple[Any, int] | None:
+        """Pick ``(server, shard)`` for one element; count the admission.
+
+        ``preference`` selects the within-shard position the caller would
+        normally hit (the batch workload pins client *i* to position
+        ``i % shard size``, mirroring the unsharded one-client-per-server
+        layout); an unroutable preferred server fails over to the next
+        routable one in the same shard and counts as *deferred*.  Returns
+        ``None`` — and counts a rejection — when no shard is active.
+        """
+        shard = self.shard_for(element_id)
+        if shard is None:
+            self.rejected += 1
+            return None
+        servers = self.shard_servers[shard]
+        start = preference % len(servers)
+        for offset in range(len(servers)):
+            candidate = servers[(start + offset) % len(servers)]
+            if _routable(candidate):
+                self.routed += 1
+                self.per_shard_routed[shard] += 1
+                if offset:
+                    self.deferred += 1
+                return candidate, shard
+        # The shard passed the active check yet every member refused: it lost
+        # its last routable member between the two looks.  Treat as rejected.
+        self.rejected += 1
+        return None
+
+    def route_round_robin(self, element_id: int) -> tuple[Any, int] | None:
+        """Service-ingress variant: per-shard round-robin instead of a pinned
+        preference (the ingress queue has no per-client affinity)."""
+        shard = self.shard_for(element_id)
+        if shard is None:
+            self.rejected += 1
+            return None
+        result = self.route(element_id, preference=self._rr[shard])
+        if result is not None:
+            self._rr[shard] += 1
+        return result
+
+    # -- reporting ----------------------------------------------------------------
+
+    def counters(self) -> dict[str, int]:
+        return {"routed": self.routed, "deferred": self.deferred,
+                "rejected": self.rejected}
+
+    def skew_ratio(self) -> float | None:
+        """max/mean of per-shard admissions (1.0 = perfectly even), or
+        ``None`` before any element was routed."""
+        if self.routed == 0 or not self.per_shard_routed:
+            return None
+        mean = self.routed / len(self.per_shard_routed)
+        return round(max(self.per_shard_routed) / mean, 4) if mean else None

@@ -34,6 +34,48 @@ class AddTarget(Protocol):
     def add(self, element: Element) -> None: ...  # pragma: no cover - protocol
 
 
+class RoutedTarget:
+    """An :class:`AddTarget` that routes each element to its owning shard.
+
+    One exists per client in a sharded deployment, remembering the client's
+    index: client *i* prefers the server at position ``i % shard_size``
+    within whichever shard an element hashes to, mirroring the unsharded
+    one-client-per-server affinity.  Elements whose shard has no routable
+    server are dropped (the router counts them rejected) — the client-side
+    equivalent of an add against a downed host failing.
+    """
+
+    def __init__(self, router, preference: int) -> None:  # type: ignore[no-untyped-def]
+        self.router = router
+        self.preference = preference
+
+    def add(self, element: Element) -> bool:
+        routed = self.router.route(element.element_id, self.preference)
+        if routed is None:
+            return False
+        server, _shard = routed
+        return server.add(element)
+
+    def add_many(self, elements: list[Element]) -> int:
+        route = self.router.route
+        preference = self.preference
+        by_server: dict[str, tuple[object, list[Element]]] = {}
+        for element in elements:
+            routed = route(element.element_id, preference)
+            if routed is None:
+                continue
+            server, _shard = routed
+            bucket = by_server.get(server.name)
+            if bucket is None:
+                by_server[server.name] = (server, [element])
+            else:
+                bucket[1].append(element)
+        accepted = 0
+        for server, batch in by_server.values():
+            accepted += server.add_many(batch)  # type: ignore[attr-defined]
+        return accepted
+
+
 class InjectionClient:
     """A single client adding elements to one server at a fixed rate."""
 
@@ -118,17 +160,24 @@ class ClientPool:
                  workload: WorkloadConfig,
                  on_element: Callable[[Element], None] | None = None,
                  tick: float = 0.1,
-                 on_elements: Callable[[list[Element]], None] | None = None) -> None:
+                 on_elements: Callable[[list[Element]], None] | None = None,
+                 router=None) -> None:  # type: ignore[no-untyped-def]
         if not targets:
             raise ConfigurationError("need at least one injection target")
         self.sim = sim
         self.workload = workload
+        self.router = router
         per_client_rate = workload.sending_rate / len(targets)
         stats = ElementSizeStats(workload.element_size_mean, workload.element_size_std)
         self.clients: list[InjectionClient] = []
         for index, target in enumerate(targets):
             rng = sim.rng.derive("client", index, workload.seed)
             generator = ArbitrumLikeGenerator(rng, stats)
+            if router is not None:
+                # Sharded: same client count, rates, and RNG streams as the
+                # unsharded layout — only the add path goes through the
+                # shard router instead of the pinned local server.
+                target = RoutedTarget(router, index)
             client = InjectionClient(
                 name=f"client-{index}", sim=sim, target=target,
                 rate=per_client_rate, duration=workload.injection_duration,

@@ -6,7 +6,7 @@ import sys
 
 import pytest
 
-from repro.api import RunResult
+from repro.api import RunResult, Scenario, run
 from repro.api.cli import main
 
 SMOKE = "smoke"  # tiny ideal-ledger scenario registered by the catalog
@@ -169,3 +169,69 @@ def test_report_phases_renders_latency_table(tmp_path, capsys):
     # Untraced artifacts have no phase data to report.
     assert main(["report", str(plain), "--phases"]) == 0
     assert "no traced artifacts" in capsys.readouterr().out
+
+
+def test_sweep_family_filter_composes_with_contains(tmp_path, capsys):
+    assert main(["sweep", "--family", "shard", "--contains", "smoke",
+                 "--out", str(tmp_path), "--quiet"]) == 0
+    files = sorted(f.name for f in tmp_path.glob("*.json"))
+    assert files == ["shard__smoke.json"]
+
+
+def test_sweep_unknown_family_errors_and_lists_families(capsys):
+    # Regression: an empty spec list after filtering must be a clean error,
+    # not a crash further down the sweep.
+    assert main(["sweep", "--family", "no-such-family"]) == 1
+    err = capsys.readouterr().err
+    assert "no scenarios in family 'no-such-family'" in err
+    assert "shard" in err and "bench" in err
+
+
+def test_sweep_with_more_jobs_than_specs(tmp_path, capsys):
+    # Regression: --jobs larger than the spec count must clamp, not crash.
+    assert main(["sweep", "--family", "shard", "--contains", "smoke",
+                 "--jobs", "4", "--out", str(tmp_path), "--quiet"]) == 0
+    assert sorted(f.name for f in tmp_path.glob("*.json")) == ["shard__smoke.json"]
+
+
+def zero_commit_scenario():
+    # Every server down before the first element: injection proceeds, nothing
+    # ever commits — the edge every summary table must render, not crash on.
+    return (Scenario.hashchain().servers(4).rate(50).collector(10)
+            .inject_for(5).drain(2).backend("ideal")
+            .crash(0.0, "server-0", "server-1", "server-2", "server-3")
+            .label("zero-commit").seed(2))
+
+
+def test_report_renders_zero_commit_artifacts(tmp_path, capsys):
+    # Regression: percentile/summary rows over empty commit sequences.
+    result = run(zero_commit_scenario())
+    assert result.injected > 0 and result.committed == 0
+    artifact = tmp_path / "zero.json"
+    result.save(artifact)
+    assert main(["report", str(artifact)]) == 0
+    out = capsys.readouterr().out
+    assert "zero-commit" in out
+    assert "resilience" in out
+
+
+def test_report_phases_renders_zero_commit_traced_artifacts(tmp_path, capsys):
+    result = run(zero_commit_scenario().trace(1.0))
+    assert result.committed == 0 and result.telemetry is not None
+    artifact = tmp_path / "zero-traced.json"
+    result.save(artifact)
+    assert main(["report", str(artifact), "--phases"]) == 0
+    out = capsys.readouterr().out
+    assert "phase latency since injection" in out
+
+
+def test_report_renders_per_shard_breakdown(tmp_path, capsys):
+    result = run(Scenario.hashchain().servers(2).shards(2).rate(300)
+                 .collector(20).inject_for(4).drain(30).backend("ideal")
+                 .label("shard-report").seed(13))
+    artifact = tmp_path / "sharded.json"
+    result.save(artifact)
+    assert main(["report", str(artifact)]) == 0
+    out = capsys.readouterr().out
+    assert "per-shard breakdown" in out
+    assert "skew=" in out

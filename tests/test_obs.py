@@ -105,6 +105,13 @@ def test_phase_percentiles_shape():
     assert stats["p50"] <= stats["p95"] <= stats["p99"] <= stats["max"]
 
 
+def test_phase_percentiles_empty_is_a_zeroed_row():
+    # Regression: a zero-commit run (every server crashed before the first
+    # epoch) produces empty latency lists; this used to index past the end.
+    assert phase_percentiles([]) == {
+        "count": 0, "p50": 0.0, "p95": 0.0, "p99": 0.0, "max": 0.0}
+
+
 def test_flush_size_summary_empty_and_populated():
     assert flush_size_summary([]) is None
 

@@ -349,3 +349,65 @@ def test_properties_hold_under_mixed_membership_and_fault_schedules(
                            all_added=deployment.injected_elements,
                            include_liveness=True)
     assert violations == [], violations[:5]
+
+
+# -- Properties 1-8 per shard under a faulty sibling shard ------------------------
+# PR 10's tentpole: shards are independent Setchain instances, so faults must
+# not cross the partition boundary.  A random schedule crashes or turns
+# Byzantine exactly one member of shard 1 (inside that shard's f-budget);
+# shard 0 is never touched, so Properties 1-8 over shard 0's admissions —
+# and its commit ratio — must be exactly what a fault-free run guarantees.
+
+
+@pytest.mark.parametrize("algorithm", ["vanilla", "compresschain", "hashchain"])
+@_fault_runs
+@given(data=st.data())
+def test_shard_faults_never_leak_into_healthy_shards(algorithm, data):
+    from repro.api import Scenario
+    from repro.core.deployment import run_experiment
+    from repro.core.properties import check_all
+    from repro.faults import BecomeByzantine, Crash, MessageLoss, Targets
+
+    events = []
+    victim = data.draw(st.sampled_from(["server-3", "server-4", "server-5"]),
+                       label="victim")
+    mode = data.draw(st.sampled_from(["crash", "byzantine"]), label="mode")
+    at = data.draw(st.floats(0.2, 2.5), label="fault at")
+    width = data.draw(st.floats(0.5, 2.5), label="fault width")
+    if mode == "crash":
+        events.append(Crash(at=at, until=at + width,
+                            targets=Targets(nodes=(victim,))))
+    else:
+        behaviour = data.draw(st.sampled_from(_BYZ_BEHAVIOURS),
+                              label="behaviour")
+        events.append(BecomeByzantine(at=at, until=at + width,
+                                      targets=Targets(nodes=(victim,)),
+                                      behaviour=behaviour))
+    if data.draw(st.booleans(), label="loss"):
+        rate = data.draw(st.floats(0.005, 0.05), label="loss rate")
+        events.append(MessageLoss(at=0.0, until=4.0, rate=rate))
+    seed = data.draw(st.integers(0, 2**16), label="seed")
+
+    config = (Scenario(algorithm).servers(3).byzantine(f=1).shards(2)
+              .rate(150).collector(10).inject_for(4).drain(40)
+              .backend("ideal").faults(*events).seed(seed).build())
+    deployment = run_experiment(config)
+    router = deployment.shard_router
+
+    # Shard ownership is fixed at admission, and neither shard ever loses
+    # quorum (at most one of three members is down), so the routing function
+    # reproduces each element's owner post hoc.
+    shard_0_added = [e for e in deployment.injected_elements
+                     if router.shard_for(e.element_id) == 0]
+    assert shard_0_added
+
+    views = {server.name: server.get() for server in deployment.servers
+             if server.shard_index == 0}
+    assert len(views) == 3
+    violations = check_all(views, quorum=config.setchain.quorum,
+                           all_added=shard_0_added, include_liveness=True)
+    assert violations == [], violations[:5]
+
+    report = deployment.shard_report()
+    assert report["per_shard"]["0"]["added"] == len(shard_0_added)
+    assert report["per_shard"]["0"]["committed"] == len(shard_0_added)

@@ -241,3 +241,87 @@ def test_result_packages_batch_analyses():
     assert result.injected == 100
     assert result.committed == 100
     runtime.stop()
+
+
+def test_healthz_excludes_draining_leaver_from_live_count():
+    # Regression: a departing-but-not-yet-retired server used to count as
+    # live, so /healthz could claim a quorum the write path no longer had.
+    runtime = small_runtime()
+    runtime.submit_many(50)
+    runtime.run_for(1.0)
+    assert runtime.healthz()["live_servers"] == 4
+    runtime.remove_server("server-3")
+    draining = next(s for s in runtime.deployment.servers
+                    if s.name == "server-3")
+    assert draining.draining and not draining.departed
+    health = runtime.healthz()
+    assert health["live_servers"] == 3
+    assert health["status"] == "ok"  # 3 of quorum 2: still serving
+    runtime.run_for(15.0)
+    assert [s.name for s in runtime.deployment.departed_servers] == ["server-3"]
+    final = runtime.healthz()
+    assert final["live_servers"] == 3
+    assert final["epoch"] == 2  # retirement sealed the membership change
+    runtime.stop()
+
+
+def test_rolling_restart_after_leave_keeps_health_consistent():
+    # The departed_servers seam: a retired leaver must stay out of both the
+    # restart rotation and the live count while survivors cycle.
+    runtime = small_runtime()
+    runtime.submit_many(100)
+    runtime.run_for(2.0)
+    runtime.remove_server("server-3")
+    runtime.run_for(15.0)
+    assert [s.name for s in runtime.deployment.departed_servers] == ["server-3"]
+    runtime.rolling_restart(names=["server-0", "server-1"],
+                            down_for=1.0, between=1.0)
+    runtime.submit_many(100)
+    runtime.run_for(10.0)
+    snapshot = runtime.metrics_snapshot()
+    assert snapshot["committed"] == 200
+    health = runtime.healthz()
+    assert health["status"] == "ok"
+    assert health["live_servers"] == 3
+    runtime.stop()
+
+
+# -- sharded service ------------------------------------------------------------
+
+
+def sharded_runtime(**kwargs):
+    scenario = (Scenario.hashchain().servers(2).shards(2).rate(200)
+                .collector(10).inject_for(5).drain(30).backend("ideal"))
+    return ServiceRuntime(scenario, seed=5, **kwargs)
+
+
+def test_sharded_ingress_routes_across_shards_and_commits():
+    runtime = sharded_runtime()
+    verdicts = runtime.submit_many(200)
+    assert verdicts == {"accepted": 200, "deferred": 0, "rejected": 0}
+    runtime.run_for(8.0)
+    router = runtime.deployment.shard_router
+    assert router.routed == 200
+    assert all(count > 0 for count in router.per_shard_routed)
+    snapshot = runtime.metrics_snapshot()
+    assert snapshot["committed"] == 200
+    assert runtime.session.check_properties() == []
+    assert runtime.session.check_logical_properties() == []
+    runtime.stop()
+
+
+def test_sharded_healthz_reports_per_shard_liveness():
+    runtime = sharded_runtime()
+    health = runtime.healthz()
+    assert health["status"] == "ok"
+    assert set(health["shards"]) == {"0", "1"}
+    assert all(entry["live"] == 2 for entry in health["shards"].values())
+    # One whole shard down: the service is degraded even though the global
+    # live count still clears the (per-shard) quorum.
+    runtime.session.crash("server-2")
+    runtime.session.crash("server-3")
+    health = runtime.healthz()
+    assert health["status"] == "degraded"
+    assert health["shards"]["1"]["live"] == 0
+    assert health["shards"]["0"]["live"] == 2
+    runtime.stop()
